@@ -1,0 +1,31 @@
+//! Ablation: prefetch-buffer capacity (Table I uses 16 KB = 16 rows per
+//! vault).
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_buffer_size`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let variants: Vec<_> = [4u32, 8, 16, 32, 64]
+        .into_iter()
+        .map(|n| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.prefetch.entries = n;
+            (format!("{} KB ({n} rows)", n), cfg, SchemeKind::CampsMod)
+        })
+        .collect();
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: prefetch-buffer rows per vault (CAMPS-MOD geomean IPC)\n");
+    println!("{:>16}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>16}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_buffer_size", "variant,HM1,LM1,MX1", &csv);
+}

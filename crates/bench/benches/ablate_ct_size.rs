@@ -1,0 +1,34 @@
+//! Ablation: Conflict Table capacity (§3.1 uses 32 entries per vault).
+//!
+//! The CT must be large enough to still remember a row when it gets
+//! re-activated; too small and conflict-prone rows age out before their
+//! return, too large only wastes area (the paper budgets 20 bits/entry).
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_ct_size`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let variants: Vec<_> = [8u32, 16, 32, 64, 128]
+        .into_iter()
+        .map(|n| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.prefetch.ct_entries = n;
+            (format!("ct={n}"), cfg, SchemeKind::CampsMod)
+        })
+        .collect();
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: Conflict Table entries per vault (CAMPS-MOD geomean IPC)\n");
+    println!("{:>10}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>10}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_ct_size", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,37 @@
+//! Ablation: serial-link power management (Ahn et al. [13]): links that
+//! idle for a threshold drop into a low-power state and pay a re-training
+//! penalty on the next packet — trading tail latency for link energy.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_link_power`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let mut variants = Vec::new();
+    for (name, idle, wake) in [
+        ("always on", 0u64, 0u64),
+        ("sleep 1k / wake 150", 1_000, 150),
+        ("sleep 200 / wake 450", 200, 450),
+    ] {
+        for scheme in [SchemeKind::Nopf, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.link.sleep_after_idle = idle;
+            cfg.link.wake_cycles = wake;
+            variants.push((format!("{name} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: link power management (geomean IPC)\n");
+    println!("{:>34}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>34}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_link_power", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,34 @@
+//! Ablation: physical address mapping. `RoRaBaVaCo` (Table I) interleaves
+//! consecutive rows across vaults; the alternatives trade vault-level
+//! parallelism against bank-level conflict behavior, shifting how much
+//! work the prefetcher has to clean up.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_mapping`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::addr::MappingScheme;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let mut variants = Vec::new();
+    for mapping in MappingScheme::ALL {
+        for scheme in [SchemeKind::Nopf, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.hmc.mapping = mapping;
+            variants.push((format!("{mapping} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: address mapping (geomean IPC)\n");
+    println!("{:>26}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>26}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_mapping", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,32 @@
+//! Ablation: open-page (Table I) versus closed-page row management, with
+//! and without CAMPS-MOD. Closed page removes conflicts at the price of
+//! row locality — the same trade CAMPS makes selectively, row by row.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_page_policy`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::{PagePolicy, SystemConfig};
+
+fn main() {
+    let mut variants = Vec::new();
+    for (pname, page) in [("open", PagePolicy::Open), ("closed", PagePolicy::Closed)] {
+        for scheme in [SchemeKind::Nopf, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.vault.page_policy = page;
+            variants.push((format!("{pname} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: page policy (geomean IPC)\n");
+    println!("{:>22}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>22}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_page_policy", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,38 @@
+//! Ablation: memory-side buffering versus aggressive cache pushing — the
+//! design argument of §2.4.
+//!
+//! The paper keeps prefetched rows in the vault ("the prefetched data is
+//! not proactively pushed towards upper level caches, thus avoiding the
+//! cache pollution … It can be pushed only if requested"). This bench runs
+//! the counter-design: every prefetched block is immediately pushed to the
+//! shared LLC over the response links, paying link bandwidth and cache
+//! pollution. If the paper's argument holds, pushing should not win.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_push_llc`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let mut variants = Vec::new();
+    for (name, push) in [("memory-side buffer", false), ("push to LLC", true)] {
+        for scheme in [SchemeKind::Base, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.prefetch.push_to_llc = push;
+            variants.push((format!("{name} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: §2.4 — keep prefetches memory-side vs push to LLC (geomean IPC)\n");
+    println!("{:>32}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>32}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_push_llc", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,32 @@
+//! Ablation: DRAM refresh. §2.1 assigns refresh to the vault controller;
+//! this sweep quantifies how much performance the all-bank refresh
+//! (tREFI = 7.8 µs, tRFC ≈ 260 ns) costs, with and without CAMPS-MOD.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_refresh`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let mut variants = Vec::new();
+    for (name, t_refi) in [("refresh on", 6240u64), ("refresh off", 0)] {
+        for scheme in [SchemeKind::Nopf, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.dram.t_refi = t_refi;
+            variants.push((format!("{name} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: all-bank refresh (geomean IPC)\n");
+    println!("{:>26}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>26}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_refresh", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,36 @@
+//! Ablation: prefetch-buffer replacement policy — plain LRU (CAMPS)
+//! versus the §3.2 utilization + recency policy (CAMPS-MOD), across every
+//! buffer size, isolating how much of CAMPS-MOD's gain comes from buffer
+//! management.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_replacement`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let mut variants = Vec::new();
+    for entries in [8u32, 16, 32] {
+        for (name, scheme) in [
+            ("LRU", SchemeKind::Camps),
+            ("util+recency", SchemeKind::CampsMod),
+        ] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.prefetch.entries = entries;
+            variants.push((format!("{entries} rows / {name}"), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: buffer replacement policy (geomean IPC)\n");
+    println!("{:>24}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>24}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_replacement", "variant,HM1,LM1,MX1", &csv);
+}

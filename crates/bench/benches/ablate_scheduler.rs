@@ -1,0 +1,35 @@
+//! Ablation: FR-FCFS (Table I) versus plain FCFS memory scheduling, with
+//! and without CAMPS-MOD — how much of the prefetcher's benefit survives
+//! a scheduler that cannot exploit row-buffer locality on its own.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_scheduler`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::{SchedulerKind, SystemConfig};
+
+fn main() {
+    let mut variants = Vec::new();
+    for (sname, sched) in [
+        ("FR-FCFS", SchedulerKind::FrFcfs),
+        ("FCFS", SchedulerKind::Fcfs),
+    ] {
+        for scheme in [SchemeKind::Nopf, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.vault.scheduler = sched;
+            variants.push((format!("{sname} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: memory scheduler (geomean IPC)\n");
+    println!("{:>22}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>22}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_scheduler", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,36 @@
+//! Ablation: the CAMPS row-utilization threshold (§3.1 uses 4).
+//!
+//! Sweeps the RUT trigger from 1 (fetch almost immediately) to 8 (demand
+//! near-certainty) under CAMPS-MOD and reports geomean IPC per mix class.
+//! The paper's choice of 4 is the break-even point where a whole-row
+//! transfer costs the vault's TSV bus as much as the blocks already
+//! served.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_threshold`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let variants: Vec<_> = [1u32, 2, 3, 4, 6, 8]
+        .into_iter()
+        .map(|t| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.prefetch.rut_threshold = t;
+            (format!("threshold={t}"), cfg, SchemeKind::CampsMod)
+        })
+        .collect();
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: RUT utilization threshold (CAMPS-MOD geomean IPC)\n");
+    println!("{:>14}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>14}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_threshold", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,37 @@
+//! Ablation: two-level prefetching — a conservative core-side next-line
+//! prefetcher combined with the memory-side schemes, the configuration
+//! studied by Ahn et al. [13] that the paper's related work discusses.
+//!
+//! Run: `cargo bench -p camps-bench --bench ablate_two_level`
+
+use camps_bench::{ablation_sweep, write_csv, ABLATION_MIXES};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let mut variants = Vec::new();
+    for (name, enable, degree) in [
+        ("no core pf", false, 0u32),
+        ("core pf d=1", true, 1),
+        ("core pf d=2", true, 2),
+    ] {
+        for scheme in [SchemeKind::Nopf, SchemeKind::CampsMod] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.core_prefetch.enable = enable;
+            cfg.core_prefetch.degree = degree.max(1);
+            variants.push((format!("{name} / {}", scheme.name()), cfg, scheme));
+        }
+    }
+    let rows = ablation_sweep(&variants, &ABLATION_MIXES);
+    println!("Ablation: two-level prefetching (geomean IPC)\n");
+    println!("{:>28}  {:>8}  {:>8}  {:>8}", "", "HM1", "LM1", "MX1");
+    let mut csv = Vec::new();
+    for (label, ipcs) in &rows {
+        println!(
+            "{label:>28}  {:>8.3}  {:>8.3}  {:>8.3}",
+            ipcs[0], ipcs[1], ipcs[2]
+        );
+        csv.push(format!("{label},{},{},{}", ipcs[0], ipcs[1], ipcs[2]));
+    }
+    write_csv("ablate_two_level", "variant,HM1,LM1,MX1", &csv);
+}

@@ -1,0 +1,70 @@
+//! Figure 5 — "Performance Improvement Over Different Prefetching
+//! Schemes": per-mix speedup of every scheme normalized to BASE, plus the
+//! AVG (geometric mean) row.
+//!
+//! Paper's headline numbers: CAMPS-MOD outperforms BASE by 17.9 %,
+//! BASE-HIT by 16.8 %, and MMD by 8.7 % on average; HM mixes gain most
+//! (24.9 % over BASE), LM least (9.4 %), MX in between (19.6 %).
+//!
+//! Run: `cargo bench -p camps-bench --bench fig5_speedup`
+//! (scale via `CAMPS_BENCH_SCALE=quick|standard|thorough`).
+
+use camps::metrics::{average_speedup, speedup_table};
+use camps_bench::{bar_chart, figure_results, write_csv, TableWriter};
+use camps_prefetch::SchemeKind;
+use camps_workloads::ALL_MIXES;
+
+fn main() {
+    let results = figure_results();
+    let cells = speedup_table(&results);
+    let schemes = SchemeKind::PAPER;
+    let headers: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+
+    let mut t = TableWriter::new(&headers, 3);
+    for mix in &ALL_MIXES {
+        let row = schemes
+            .iter()
+            .map(|&s| {
+                cells
+                    .iter()
+                    .find(|c| c.mix_id == mix.id && c.scheme == s)
+                    .map(|c| c.speedup)
+            })
+            .collect();
+        t.row(mix.id, row);
+    }
+    t.row(
+        "AVG",
+        schemes
+            .iter()
+            .map(|&s| average_speedup(&cells, s))
+            .collect(),
+    );
+
+    println!("Figure 5: normalized speedup over BASE (higher is better)\n");
+    println!("{}", t.render());
+    let bars: Vec<(String, f64)> = schemes
+        .iter()
+        .filter_map(|&s| average_speedup(&cells, s).map(|v| (s.name().to_string(), v)))
+        .collect();
+    println!("{}", bar_chart(&bars, 40, "×"));
+    if let (Some(cm), Some(mmd), Some(bh)) = (
+        average_speedup(&cells, SchemeKind::CampsMod),
+        average_speedup(&cells, SchemeKind::Mmd),
+        average_speedup(&cells, SchemeKind::BaseHit),
+    ) {
+        println!(
+            "CAMPS-MOD vs BASE    : {:+.1}%  (paper: +17.9%)",
+            (cm - 1.0) * 100.0
+        );
+        println!(
+            "CAMPS-MOD vs BASE-HIT: {:+.1}%  (paper: +16.8%)",
+            (cm / bh - 1.0) * 100.0
+        );
+        println!(
+            "CAMPS-MOD vs MMD     : {:+.1}%  (paper: +8.7%)",
+            (cm / mmd - 1.0) * 100.0
+        );
+    }
+    write_csv("fig5_speedup", &t.csv_header(), &t.csv_rows());
+}

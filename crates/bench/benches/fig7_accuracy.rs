@@ -1,0 +1,63 @@
+//! Figure 7 — "Prefetching Accuracy of Different Schemes" (higher is
+//! better): of all rows prefetched, the fraction actually referenced by
+//! the processor.
+//!
+//! Paper: CAMPS-MOD averages 70.5 %, beating BASE by 33.3 points, BASE-HIT
+//! by 28.4, and MMD by 4.1; plain CAMPS lands slightly (1.5 points) below
+//! MMD, which is what motivated the §3.2 buffer management.
+//!
+//! Run: `cargo bench -p camps-bench --bench fig7_accuracy`
+
+use camps_bench::{figure_results, write_csv, TableWriter};
+use camps_prefetch::SchemeKind;
+use camps_stats::mean;
+use camps_workloads::ALL_MIXES;
+
+fn main() {
+    let results = figure_results();
+    let schemes = SchemeKind::PAPER;
+    let headers: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+
+    let mut t = TableWriter::new(&headers, 1);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for mix in &ALL_MIXES {
+        let row: Vec<Option<f64>> = schemes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let v = results
+                    .iter()
+                    .find(|r| r.mix_id == mix.id && r.scheme == s)
+                    .map(|r| r.prefetch_accuracy() * 100.0);
+                if let Some(v) = v {
+                    per_scheme[i].push(v);
+                }
+                v
+            })
+            .collect();
+        t.row(mix.id, row);
+    }
+    t.row("AVG", per_scheme.iter().map(|v| mean(v)).collect());
+
+    println!("Figure 7: prefetching accuracy, % of prefetched rows referenced\n");
+    println!("{}", t.render());
+    let avg = |i: usize| mean(&per_scheme[i]).unwrap_or(0.0);
+    println!("CAMPS-MOD average    : {:.1}%  (paper: 70.5%)", avg(4));
+    println!(
+        "  vs BASE            : {:+.1} points (paper: +33.3)",
+        avg(4) - avg(0)
+    );
+    println!(
+        "  vs BASE-HIT        : {:+.1} points (paper: +28.4)",
+        avg(4) - avg(1)
+    );
+    println!(
+        "  vs MMD             : {:+.1} points (paper: +4.1)",
+        avg(4) - avg(2)
+    );
+    println!(
+        "  CAMPS vs MMD       : {:+.1} points (paper: -1.5)",
+        avg(3) - avg(2)
+    );
+    write_csv("fig7_accuracy", &t.csv_header(), &t.csv_rows());
+}

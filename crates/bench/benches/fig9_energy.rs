@@ -1,0 +1,58 @@
+//! Figure 9 — "Average HMC Energy Consumption normalized to BASE" (lower
+//! is better), for BASE, MMD, and CAMPS-MOD.
+//!
+//! Paper: MMD and CAMPS-MOD consume 6.0 % and 8.5 % less energy than BASE
+//! respectively, "mainly due to fewer activation and precharge
+//! operations" (and, in BASE's case, the wasted whole-row transfers).
+//!
+//! Run: `cargo bench -p camps-bench --bench fig9_energy`
+
+use camps_bench::{figure_results, write_csv, TableWriter};
+use camps_prefetch::SchemeKind;
+use camps_stats::geomean;
+use camps_workloads::ALL_MIXES;
+
+fn main() {
+    let results = figure_results();
+    let schemes = [SchemeKind::Base, SchemeKind::Mmd, SchemeKind::CampsMod];
+    let headers: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+
+    let mut t = TableWriter::new(&headers, 3);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for mix in &ALL_MIXES {
+        let base = results
+            .iter()
+            .find(|r| r.mix_id == mix.id && r.scheme == SchemeKind::Base)
+            .map(|r| r.energy_nj);
+        let row: Vec<Option<f64>> = schemes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let v = results
+                    .iter()
+                    .find(|r| r.mix_id == mix.id && r.scheme == s)
+                    .zip(base)
+                    .map(|(r, b)| r.energy_nj / b);
+                if let Some(v) = v {
+                    per_scheme[i].push(v);
+                }
+                v
+            })
+            .collect();
+        t.row(mix.id, row);
+    }
+    t.row("AVG", per_scheme.iter().map(|v| geomean(v)).collect());
+
+    println!("Figure 9: HMC energy normalized to BASE (lower is better)\n");
+    println!("{}", t.render());
+    let avg = |i: usize| geomean(&per_scheme[i]).unwrap_or(0.0);
+    println!(
+        "MMD vs BASE      : {:+.1}%  (paper: -6.0%)",
+        (avg(1) - 1.0) * 100.0
+    );
+    println!(
+        "CAMPS-MOD vs BASE: {:+.1}%  (paper: -8.5%)",
+        (avg(2) - 1.0) * 100.0
+    );
+    write_csv("fig9_energy", &t.csv_header(), &t.csv_rows());
+}

@@ -1,0 +1,87 @@
+//! Table I — "Experimental Configuration": prints the default system
+//! configuration used by every experiment, in the paper's layout, and
+//! verifies it against the paper's stated values.
+//!
+//! Run: `cargo bench -p camps-bench --bench table1_config`
+
+use camps_bench::experiments_dir;
+use camps_types::config::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::paper_default();
+    c.validate().expect("paper configuration must validate");
+
+    println!("Table I: experimental configuration\n");
+    println!(
+        "Processor    : {} cores @ {} GHz, issue width = {}, out-of-order (ROB {})",
+        c.cpu.cores,
+        c.cpu.freq_hz as f64 / 1e9,
+        c.cpu.issue_width,
+        c.cpu.rob_entries
+    );
+    println!(
+        "L1 (I/D)     : {} KB pvt., {}-way, hit lat. = {} cycles",
+        c.l1.size_bytes >> 10,
+        c.l1.ways,
+        c.l1.hit_latency
+    );
+    println!(
+        "L2           : {} KB pvt., {}-way, hit lat. = {} cycles",
+        c.l2.size_bytes >> 10,
+        c.l2.ways,
+        c.l2.hit_latency
+    );
+    println!(
+        "L3           : {} MB shrd., {}-way, hit lat. = {} cycles, {} B line",
+        c.l3.size_bytes >> 20,
+        c.l3.ways,
+        c.l3.hit_latency,
+        c.l3.line_bytes
+    );
+    println!(
+        "HMC          : {} vaults, {} banks/vault, {} B row buffer, {} rows/bank ({} GiB)",
+        c.hmc.vaults,
+        c.hmc.banks_per_vault,
+        c.hmc.row_bytes,
+        c.hmc.rows_per_bank,
+        c.hmc.address_mapping().unwrap().capacity_bytes() >> 30
+    );
+    println!(
+        "Vault ctl.   : DDR3-1600, queue size (R/W) = {}/{}, tRCD = {} tRP = {} tCL = {} cycles",
+        c.vault.read_queue, c.vault.write_queue, c.dram.t_rcd, c.dram.t_rp, c.dram.t_cl
+    );
+    println!(
+        "Serial links : {} links, {}+{} lanes full duplex, {} Gbps/lane",
+        c.link.links, c.link.lanes, c.link.lanes, c.link.lane_gbps
+    );
+    println!(
+        "PF buffer    : {} KB/vault, fully associative, {} KB line, hit latency = {} cycles",
+        c.prefetch.entries * (c.hmc.row_bytes >> 10),
+        c.hmc.row_bytes >> 10,
+        c.prefetch.hit_latency
+    );
+    println!(
+        "Tables       : RUT {} entries (threshold {}), CT {} entries",
+        c.hmc.banks_per_vault, c.prefetch.rut_threshold, c.prefetch.ct_entries
+    );
+    println!(
+        "Mapping      : {}; Scheduling: {:?}; Page policy: {:?}",
+        c.hmc.mapping, c.vault.scheduler, c.vault.page_policy
+    );
+
+    // Assert the Table I values so this "bench" doubles as a regression
+    // check on the default configuration.
+    assert_eq!(c.cpu.cores, 8);
+    assert_eq!(c.l3.size_bytes, 16 << 20);
+    assert_eq!(c.hmc.vaults, 32);
+    assert_eq!(c.hmc.banks_per_vault, 16);
+    assert_eq!(c.dram.t_rcd, 11);
+    assert_eq!(c.prefetch.entries, 16);
+    assert_eq!(c.prefetch.hit_latency, 22);
+    assert_eq!(c.prefetch.rut_threshold, 4);
+    assert_eq!(c.prefetch.ct_entries, 32);
+
+    let path = experiments_dir().join("table1_config.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&c).unwrap()).unwrap();
+    println!("\n[json] {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! Quick calibration probe: run a subset of mixes under every scheme and
+//! print the headline metrics, to sanity-check the qualitative shape
+//! against the paper before running the full figure benches.
+//!
+//! Usage: `cargo run --release -p camps-bench --bin calibrate [mix ...]`
+
+use camps::experiment::{run_mix, RunLength};
+use camps::metrics::{average_speedup, speedup_table};
+use camps_bench::table::TableWriter;
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_workloads::Mix;
+use rayon::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mix_ids: Vec<&str> = if args.is_empty() {
+        vec!["HM1", "HM3", "LM1", "MX1"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let cfg = SystemConfig::paper_default();
+    let len = match std::env::var("CAMPS_BENCH_SCALE").as_deref() {
+        Ok("standard") => RunLength::standard(),
+        Ok("thorough") => RunLength::thorough(),
+        _ => RunLength::quick(),
+    };
+    let schemes = [
+        SchemeKind::Nopf,
+        SchemeKind::Base,
+        SchemeKind::BaseHit,
+        SchemeKind::Mmd,
+        SchemeKind::Camps,
+        SchemeKind::CampsMod,
+    ];
+    let jobs: Vec<(&str, SchemeKind)> = mix_ids
+        .iter()
+        .flat_map(|&m| schemes.iter().map(move |&s| (m, s)))
+        .collect();
+    let results: Vec<_> = jobs
+        .par_iter()
+        .map(|&(mix_id, scheme)| {
+            let mix = Mix::by_id(mix_id).expect("known mix id");
+            run_mix(&cfg, mix, scheme, &len, 0xCA3B5)
+        })
+        .collect();
+
+    let headers: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+    let mut perf = TableWriter::new(&headers, 3);
+    let mut conf = TableWriter::new(&headers, 3);
+    let mut acc = TableWriter::new(&headers, 3);
+    let mut amat = TableWriter::new(&headers, 1);
+    let mut energy = TableWriter::new(&headers, 3);
+    for &mix_id in &mix_ids {
+        let row = |f: &dyn Fn(&camps::metrics::RunResult) -> f64| {
+            schemes
+                .iter()
+                .map(|&s| {
+                    results
+                        .iter()
+                        .find(|r| r.mix_id == mix_id && r.scheme == s)
+                        .map(f)
+                })
+                .collect::<Vec<_>>()
+        };
+        perf.row(mix_id, row(&|r| r.geomean_ipc()));
+        conf.row(mix_id, row(&|r| r.conflict_rate() * 100.0));
+        acc.row(mix_id, row(&|r| r.prefetch_accuracy() * 100.0));
+        amat.row(mix_id, row(&|r| r.amat_mem));
+        energy.row(mix_id, row(&|r| r.energy_nj / 1e6));
+    }
+    println!("== geomean IPC ==\n{}", perf.render());
+    println!("== row-buffer conflict rate (%) ==\n{}", conf.render());
+    println!("== prefetch accuracy (%) ==\n{}", acc.render());
+    println!("== memory AMAT (cycles) ==\n{}", amat.render());
+    println!("== HMC energy (mJ) ==\n{}", energy.render());
+
+    let cells = speedup_table(&results);
+    println!("== speedup vs BASE (geomean over listed mixes) ==");
+    for s in schemes {
+        if let Some(v) = average_speedup(&cells, s) {
+            println!("  {:>10}: {v:.3}", s.name());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Experiment driving, result caching, and CSV output.
+
+use camps::experiment::{run_matrix, RunLength};
+use camps::metrics::RunResult;
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_workloads::ALL_MIXES;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Seed used by every figure run (fixed → figures are cross-comparable).
+pub const FIGURE_SEED: u64 = 0xCA3B5;
+
+/// Resolves the run length from `CAMPS_BENCH_SCALE`
+/// (`quick` | `standard` | `thorough`; default `quick`).
+#[must_use]
+pub fn bench_length() -> RunLength {
+    match std::env::var("CAMPS_BENCH_SCALE").as_deref() {
+        Ok("standard") => RunLength::standard(),
+        Ok("thorough") => RunLength::thorough(),
+        _ => RunLength::quick(),
+    }
+}
+
+fn scale_name() -> &'static str {
+    match std::env::var("CAMPS_BENCH_SCALE").as_deref() {
+        Ok("standard") => "standard",
+        Ok("thorough") => "thorough",
+        _ => "quick",
+    }
+}
+
+/// Directory where figure CSVs and the shared result cache live:
+/// `<workspace>/target/experiments` (honors `CARGO_TARGET_DIR`).
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    // Bench binaries run with the package directory as CWD, so anchor on
+    // the workspace root via this crate's manifest location instead.
+    let target = std::env::var("CARGO_TARGET_DIR").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        },
+        PathBuf::from,
+    );
+    let dir = target.join("experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Runs all twelve Table II mixes under every paper scheme (plus NOPF) on
+/// the Table I system at the configured scale.
+///
+/// Figures 5–9 all consume this one matrix, so the result is cached in
+/// `target/experiments/matrix-<scale>.json`; delete the file (or set
+/// `CAMPS_BENCH_FRESH=1`) to force a re-run.
+#[must_use]
+pub fn figure_results() -> Vec<RunResult> {
+    let cache = experiments_dir().join(format!("matrix-{}.json", scale_name()));
+    let fresh = std::env::var("CAMPS_BENCH_FRESH").is_ok();
+    if !fresh {
+        if let Ok(body) = fs::read_to_string(&cache) {
+            if let Ok(results) = serde_json::from_str::<Vec<RunResult>>(&body) {
+                eprintln!("[cache] reusing {}", cache.display());
+                return results;
+            }
+        }
+    }
+    let cfg = SystemConfig::paper_default();
+    let results = run_matrix(
+        &cfg,
+        &ALL_MIXES,
+        &SchemeKind::ALL,
+        &bench_length(),
+        FIGURE_SEED,
+    );
+    let body = serde_json::to_string(&results).expect("serialize results");
+    fs::write(&cache, body).expect("write result cache");
+    eprintln!("[cache] wrote {}", cache.display());
+    results
+}
+
+/// Writes rows as CSV to `target/experiments/<name>.csv` and returns the
+/// path.
+///
+/// # Panics
+/// Panics if the directory or file cannot be written (bench-only code;
+/// failing loudly is correct).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write csv header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write csv row");
+    }
+    println!("\n[csv] {}", path.display());
+    path
+}
+
+/// Ablation helper: runs `scheme` on the given mixes under each labeled
+/// configuration variant and returns one geomean-IPC row per variant
+/// (columns = mixes, in order).
+#[must_use]
+pub fn ablation_sweep(
+    variants: &[(String, SystemConfig, SchemeKind)],
+    mix_ids: &[&str],
+) -> Vec<(String, Vec<f64>)> {
+    use camps_workloads::Mix;
+    use rayon::prelude::*;
+    let len = bench_length();
+    variants
+        .par_iter()
+        .map(|(label, cfg, scheme)| {
+            let ipcs: Vec<f64> = mix_ids
+                .iter()
+                .map(|id| {
+                    let mix = Mix::by_id(id).expect("known mix");
+                    camps::experiment::run_mix(cfg, mix, *scheme, &len, FIGURE_SEED).geomean_ipc()
+                })
+                .collect();
+            (label.clone(), ipcs)
+        })
+        .collect()
+}
+
+/// The mixes ablations run on: one per intensity class, to keep sweeps
+/// affordable while covering the spectrum.
+pub const ABLATION_MIXES: [&str; 3] = ["HM1", "LM1", "MX1"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        if std::env::var("CAMPS_BENCH_SCALE").is_err() {
+            assert_eq!(bench_length(), RunLength::quick());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv("unit_test", "a,b", &["1,2".to_string()]);
+        let body = std::fs::read_to_string(p).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,22 @@
+//! Cache hierarchy substrate: set-associative caches with LRU replacement,
+//! write-back/write-allocate policies, MSHRs, and the three-level private
+//! L1 / private L2 / shared L3 arrangement of Table I.
+//!
+//! The hierarchy is *functional with latency accumulation*: lookups resolve
+//! hit/miss against real cache state, and the returned latency is the sum
+//! of the lookup latencies on the path (L1 hit = 2, L2 hit = 2+6, L3 hit =
+//! 2+6+20 cycles). Misses surface to the caller (the system simulator),
+//! which sends them into the HMC's detailed timing model — the paper's
+//! object of study is the memory side, and this split keeps the cache model
+//! fast while preserving exactly the miss stream and MLP limits the cube
+//! sees.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod mshr;
+
+pub use cache::{Cache, CacheStats};
+pub use hierarchy::{CacheHierarchy, HierarchyOutcome};
+pub use mshr::{MshrAlloc, MshrFile};

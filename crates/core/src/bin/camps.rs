@@ -1,0 +1,177 @@
+//! `camps` — command-line experiment runner.
+//!
+//! ```text
+//! camps run   <MIX> <SCHEME> [--scale quick|standard|thorough] [--seed N] [--json]
+//! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
+//! camps list                    # available mixes, schemes, benchmarks
+//! camps config                  # dump the Table I configuration as JSON
+//! ```
+//!
+//! The JSON output is the serialized [`camps::metrics::RunResult`] —
+//! machine-consumable for plotting pipelines.
+
+use camps::experiment::{run_matrix, run_mix, RunLength};
+use camps::metrics::{average_speedup, speedup_table, RunResult};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_workloads::{Mix, ALL_MIXES};
+use std::process::ExitCode;
+
+/// Parsed command-line options shared by `run` and `sweep`.
+struct Options {
+    scale: RunLength,
+    seed: u64,
+    json: bool,
+    schemes: Vec<SchemeKind>,
+    mixes: Vec<&'static Mix>,
+}
+
+fn parse_scheme(s: &str) -> Option<SchemeKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "nopf" => SchemeKind::Nopf,
+        "base" => SchemeKind::Base,
+        "basehit" | "base-hit" => SchemeKind::BaseHit,
+        "mmd" => SchemeKind::Mmd,
+        "camps" => SchemeKind::Camps,
+        "campsmod" | "camps-mod" => SchemeKind::CampsMod,
+        _ => return None,
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: RunLength::quick(),
+        seed: 0xCA3B5,
+        json: false,
+        schemes: SchemeKind::ALL.to_vec(),
+        mixes: ALL_MIXES.iter().collect(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = match it.next().map(String::as_str) {
+                    Some("quick") => RunLength::quick(),
+                    Some("standard") => RunLength::standard(),
+                    Some("thorough") => RunLength::thorough(),
+                    other => return Err(format!("bad --scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--json" => opts.json = true,
+            "--schemes" => {
+                let list = it.next().ok_or("--schemes needs a list")?;
+                opts.schemes = list
+                    .split(',')
+                    .map(|s| parse_scheme(s).ok_or_else(|| format!("unknown scheme `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--mixes" => {
+                let list = it.next().ok_or("--mixes needs a list")?;
+                opts.mixes = list
+                    .split(',')
+                    .map(|m| Mix::by_id(m).ok_or_else(|| format!("unknown mix `{m}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn emit(results: &[RunResult], json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(results).expect("serializable")
+        );
+        return;
+    }
+    for r in results {
+        println!("{}", r.summary());
+    }
+    if results.len() > 1 {
+        let cells = speedup_table(results);
+        if !cells.is_empty() {
+            println!("speedup vs BASE (geomean over mixes):");
+            for scheme in SchemeKind::ALL {
+                if let Some(v) = average_speedup(&cells, scheme) {
+                    println!("  {:>10}: {v:.3}", scheme.name());
+                }
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = SystemConfig::paper_default();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            if args.len() < 3 {
+                eprintln!("usage: camps run <MIX> <SCHEME> [options]");
+                return ExitCode::FAILURE;
+            }
+            let Some(mix) = Mix::by_id(&args[1]) else {
+                eprintln!("unknown mix `{}` (try `camps list`)", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let Some(scheme) = parse_scheme(&args[2]) else {
+                eprintln!("unknown scheme `{}` (try `camps list`)", args[2]);
+                return ExitCode::FAILURE;
+            };
+            let opts = match parse_options(&args[3..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let result = run_mix(&cfg, mix, scheme, &opts.scale, opts.seed);
+            emit(&[result], opts.json);
+            ExitCode::SUCCESS
+        }
+        Some("sweep") => {
+            let opts = match parse_options(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mixes: Vec<Mix> = opts.mixes.iter().map(|m| **m).collect();
+            let results = run_matrix(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed);
+            emit(&results, opts.json);
+            ExitCode::SUCCESS
+        }
+        Some("list") => {
+            println!("mixes (Table II):");
+            for m in &ALL_MIXES {
+                println!("  {:4} [{:?}] {}", m.id, m.class, m.benchmarks.join(", "));
+            }
+            println!("\nschemes: nopf base basehit mmd camps campsmod");
+            ExitCode::SUCCESS
+        }
+        Some("config") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&cfg).expect("serializable")
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: camps <run|sweep|list|config> …\n\
+                 \n  camps run HM1 campsmod --scale quick --json\
+                 \n  camps sweep --mixes HM1,LM1 --schemes base,campsmod\
+                 \n  camps list | camps config"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

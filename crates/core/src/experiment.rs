@@ -1,0 +1,216 @@
+//! Workload × scheme experiment sweeps.
+//!
+//! Each (mix, scheme) simulation is single-threaded and deterministic;
+//! sweeps fan the independent runs out over all host cores with rayon.
+
+use crate::metrics::RunResult;
+use crate::system::System;
+use camps_prefetch::SchemeKind;
+use camps_types::clock::Cycle;
+use camps_types::config::SystemConfig;
+use camps_workloads::Mix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How long to warm up and measure, mirroring the paper's methodology
+/// (§4.1: fast-forward, warm caches, then detailed simulation) at
+/// laptop-tractable scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLength {
+    /// Functional cache-warmup instructions per core.
+    pub warmup_instructions: u64,
+    /// Detailed instructions per core.
+    pub instructions: u64,
+    /// Hard cycle cap (hang guard; generous relative to expected IPC).
+    pub max_cycles: Cycle,
+}
+
+impl RunLength {
+    /// Unit/integration-test scale: seconds per run.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            warmup_instructions: 60_000,
+            instructions: 60_000,
+            max_cycles: 3_000_000,
+        }
+    }
+
+    /// Experiment scale used for the EXPERIMENTS.md numbers.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            warmup_instructions: 500_000,
+            instructions: 500_000,
+            max_cycles: 40_000_000,
+        }
+    }
+
+    /// Long runs for low-variance final numbers.
+    #[must_use]
+    pub fn thorough() -> Self {
+        Self {
+            warmup_instructions: 1_000_000,
+            instructions: 2_000_000,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+/// Runs one Table II mix under one scheme.
+#[must_use]
+pub fn run_mix(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    scheme: SchemeKind,
+    len: &RunLength,
+    seed: u64,
+) -> RunResult {
+    let capacity = cfg
+        .hmc
+        .address_mapping()
+        .expect("valid config")
+        .capacity_bytes();
+    let traces = mix.build_traces(capacity, seed);
+    let mut sys = System::new(cfg, scheme, traces);
+    sys.warmup(len.warmup_instructions);
+    sys.run(len.instructions, len.max_cycles, mix.id)
+}
+
+/// Runs the full cross product `mixes × schemes` in parallel (rayon).
+/// Results come back grouped by mix, schemes in the given order.
+#[must_use]
+pub fn run_matrix(
+    cfg: &SystemConfig,
+    mixes: &[Mix],
+    schemes: &[SchemeKind],
+    len: &RunLength,
+    seed: u64,
+) -> Vec<RunResult> {
+    let jobs: Vec<(usize, &Mix, SchemeKind)> = mixes
+        .iter()
+        .flat_map(|m| schemes.iter().map(move |&s| (m, s)))
+        .enumerate()
+        .map(|(i, (m, s))| (i, m, s))
+        .collect();
+    let mut results: Vec<(usize, RunResult)> = jobs
+        .into_par_iter()
+        .map(|(i, mix, scheme)| (i, run_mix(cfg, mix, scheme, len, seed)))
+        .collect();
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_workloads::ALL_MIXES;
+
+    /// A tiny end-to-end smoke test: run one HM mix under NOPF and
+    /// CAMPS-MOD at miniature scale and check the prefetching run serves
+    /// demand from the buffer.
+    #[test]
+    fn camps_mod_serves_from_buffer_on_hm_mix() {
+        let cfg = SystemConfig::paper_default();
+        let len = RunLength {
+            warmup_instructions: 8_000,
+            instructions: 8_000,
+            max_cycles: 2_000_000,
+        };
+        let mix = &ALL_MIXES[0]; // HM1
+        let camps = run_mix(&cfg, mix, SchemeKind::CampsMod, &len, 7);
+        assert!(
+            camps.vaults.prefetches.get() > 0,
+            "CAMPS-MOD must prefetch on HM1"
+        );
+        assert!(
+            camps.vaults.buffer_hits.get() > 0,
+            "prefetches must be consumed"
+        );
+        assert_eq!(camps.mix_id, "HM1");
+        assert_eq!(camps.ipc.len(), 8);
+    }
+
+    #[test]
+    fn matrix_preserves_order_and_count() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.cpu.cores = 8;
+        let len = RunLength {
+            warmup_instructions: 2_000,
+            instructions: 2_000,
+            max_cycles: 500_000,
+        };
+        let mixes = [ALL_MIXES[0], ALL_MIXES[4]];
+        let schemes = [SchemeKind::Nopf, SchemeKind::Base];
+        let results = run_matrix(&cfg, &mixes, &schemes, &len, 1);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].mix_id, "HM1");
+        assert_eq!(results[0].scheme, SchemeKind::Nopf);
+        assert_eq!(results[1].scheme, SchemeKind::Base);
+        assert_eq!(results[2].mix_id, "LM1");
+    }
+}
+
+/// Mean ± population standard deviation of a scheme's per-seed geomean
+/// IPCs — the replication summary returned by [`run_replicated`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Replicated {
+    /// Mean geomean-IPC across seeds.
+    pub mean: f64,
+    /// Population standard deviation across seeds.
+    pub stddev: f64,
+    /// Seeds used.
+    pub seeds: u32,
+}
+
+/// Runs `(mix, scheme)` under `seeds` different workload seeds (in
+/// parallel) and summarizes the geomean IPC — use this to put error bars
+/// on any figure cell.
+#[must_use]
+pub fn run_replicated(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    scheme: SchemeKind,
+    len: &RunLength,
+    base_seed: u64,
+    seeds: u32,
+) -> Replicated {
+    use camps_stats::Running;
+    let ipcs: Vec<f64> = (0..u64::from(seeds.max(1)))
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|i| run_mix(cfg, mix, scheme, len, base_seed.wrapping_add(i * 0x9E37)).geomean_ipc())
+        .collect();
+    let mut acc = Running::new();
+    for v in &ipcs {
+        acc.record(*v);
+    }
+    Replicated {
+        mean: acc.mean().unwrap_or(0.0),
+        stddev: acc.stddev().unwrap_or(0.0),
+        seeds: seeds.max(1),
+    }
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use super::*;
+    use camps_workloads::ALL_MIXES;
+
+    #[test]
+    fn replication_reports_spread() {
+        let cfg = SystemConfig::paper_default();
+        let len = RunLength {
+            warmup_instructions: 3_000,
+            instructions: 3_000,
+            max_cycles: 1_000_000,
+        };
+        let r = run_replicated(&cfg, &ALL_MIXES[8], SchemeKind::Nopf, &len, 7, 3);
+        assert_eq!(r.seeds, 3);
+        assert!(r.mean > 0.0);
+        assert!(r.stddev >= 0.0);
+        // Different seeds genuinely differ, so spread is nonzero but far
+        // smaller than the mean.
+        assert!(r.stddev < r.mean, "stddev {} vs mean {}", r.stddev, r.mean);
+    }
+}

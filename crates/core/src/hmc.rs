@@ -1,0 +1,392 @@
+//! The Hybrid Memory Cube device: serial links, crossbar, and vaults.
+//!
+//! Host-side flow (§2.1): requests are packetized into FLITs, serialized
+//! over one of the four full-duplex links, routed through the crossbar to
+//! the target vault controller, and answered over the reverse path. The
+//! request and response directions have independent lanes and token pools.
+
+use camps_link::packet::Packet;
+use camps_link::serdes::LinkSet;
+use camps_link::Crossbar;
+use camps_prefetch::SchemeKind;
+use camps_types::addr::AddressMapping;
+use camps_types::clock::Cycle;
+use camps_types::config::SystemConfig;
+use camps_types::request::{MemRequest, MemResponse};
+use camps_vault::{VaultController, VaultStats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Maximum host-controller queue depth (requests waiting for link tokens).
+const HOST_QUEUE_DEPTH: usize = 64;
+
+/// The cube.
+pub struct HmcDevice {
+    mapping: AddressMapping,
+    block_bytes: u32,
+    link_cfg: camps_types::config::LinkConfig,
+    req_links: LinkSet,
+    resp_links: LinkSet,
+    req_xbar: Crossbar,
+    resp_xbar: Crossbar,
+    vaults: Vec<VaultController>,
+    /// Requests accepted by the host controller, waiting for a link.
+    host_queue: VecDeque<MemRequest>,
+    /// Request packets in flight: (arrival at vault, seq, packet).
+    inflight_req: BinaryHeap<Reverse<(Cycle, u64, Packet)>>,
+    /// Packets that reached a full vault queue; retried every cycle.
+    vault_retry: Vec<VecDeque<MemRequest>>,
+    /// Responses in flight to the host: (delivery, seq, response).
+    inflight_resp: BinaryHeap<Reverse<(Cycle, u64, MemResponse)>>,
+    /// Responses waiting for response-link tokens.
+    resp_queue: VecDeque<MemResponse>,
+    /// Link token returns: (cycle, link index, flits, is_response_dir).
+    token_returns: BinaryHeap<Reverse<(Cycle, usize, u32, bool)>>,
+    /// Scratch for vault responses within a tick.
+    vault_out: Vec<MemResponse>,
+    seq: u64,
+}
+
+impl HmcDevice {
+    /// Builds the cube with every vault running `scheme`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    #[must_use]
+    pub fn new(cfg: &SystemConfig, scheme: SchemeKind) -> Self {
+        let mapping = cfg.hmc.address_mapping().expect("validated config");
+        let vaults = (0..cfg.hmc.vaults)
+            .map(|v| VaultController::new(v as u16, cfg, scheme))
+            .collect();
+        Self {
+            mapping,
+            block_bytes: cfg.hmc.block_bytes,
+            link_cfg: cfg.link,
+            req_links: LinkSet::new(&cfg.link, cfg.cpu.freq_hz),
+            resp_links: LinkSet::new(&cfg.link, cfg.cpu.freq_hz),
+            req_xbar: Crossbar::new(cfg.hmc.vaults, cfg.link.xbar_cycles),
+            resp_xbar: Crossbar::new(cfg.link.links, cfg.link.xbar_cycles),
+            vaults,
+            host_queue: VecDeque::new(),
+            inflight_req: BinaryHeap::new(),
+            vault_retry: (0..cfg.hmc.vaults).map(|_| VecDeque::new()).collect(),
+            inflight_resp: BinaryHeap::new(),
+            resp_queue: VecDeque::new(),
+            token_returns: BinaryHeap::new(),
+            vault_out: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// The address mapping in force.
+    #[must_use]
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Offers a demand request to the host-side controller. `false` means
+    /// the controller queue is full (caller retries).
+    pub fn submit(&mut self, req: MemRequest) -> bool {
+        if self.host_queue.len() >= HOST_QUEUE_DEPTH {
+            return false;
+        }
+        self.host_queue.push_back(req);
+        true
+    }
+
+    /// Host-queue headroom (used by the memory subsystem for pacing).
+    #[must_use]
+    pub fn headroom(&self) -> usize {
+        HOST_QUEUE_DEPTH - self.host_queue.len()
+    }
+
+    /// Advances the cube one CPU cycle; responses delivered to the host at
+    /// `now` are appended to `out`.
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        self.return_tokens(now);
+        self.launch_requests(now);
+        self.deliver_requests(now);
+        self.retry_vault_queues(now);
+        self.tick_vaults(now);
+        self.launch_responses(now);
+        self.deliver_responses(now, out);
+    }
+
+    fn return_tokens(&mut self, now: Cycle) {
+        while let Some(Reverse((at, idx, flits, is_resp))) = self.token_returns.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.token_returns.pop();
+            if is_resp {
+                self.resp_links.release(idx, flits);
+            } else {
+                self.req_links.release(idx, flits);
+            }
+        }
+    }
+
+    fn launch_requests(&mut self, now: Cycle) {
+        while let Some(&req) = self.host_queue.front() {
+            let packet = Packet::request(req, &self.link_cfg, self.block_bytes);
+            let Some((link_idx, exit_link)) = self.req_links.send(&packet, now) else {
+                break; // token-blocked; retry next cycle
+            };
+            self.host_queue.pop_front();
+            self.token_returns
+                .push(Reverse((exit_link, link_idx, packet.flits, false)));
+            let vault = self.mapping.decode(req.addr).vault;
+            let arrive = self.req_xbar.route(usize::from(vault), exit_link);
+            self.inflight_req.push(Reverse((arrive, self.seq, packet)));
+            self.seq += 1;
+        }
+    }
+
+    fn deliver_requests(&mut self, now: Cycle) {
+        while let Some(Reverse((at, _, _))) = self.inflight_req.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, packet)) = self.inflight_req.pop().expect("peeked");
+            let req = packet.request;
+            let d = self.mapping.decode(req.addr);
+            let v = usize::from(d.vault);
+            if !self.vaults[v].try_enqueue(req, d, now) {
+                self.vault_retry[v].push_back(req);
+            }
+        }
+    }
+
+    fn retry_vault_queues(&mut self, now: Cycle) {
+        for v in 0..self.vaults.len() {
+            while let Some(&req) = self.vault_retry[v].front() {
+                let d = self.mapping.decode(req.addr);
+                if self.vaults[v].try_enqueue(req, d, now) {
+                    self.vault_retry[v].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn tick_vaults(&mut self, now: Cycle) {
+        for v in &mut self.vaults {
+            v.tick(now, &mut self.vault_out);
+        }
+        self.resp_queue.extend(self.vault_out.drain(..));
+    }
+
+    fn launch_responses(&mut self, now: Cycle) {
+        while let Some(&resp) = self.resp_queue.front() {
+            let req = MemRequest {
+                id: resp.id,
+                addr: resp.addr,
+                kind: resp.kind,
+                core: resp.core,
+                created_at: resp.created_at,
+            };
+            let packet = Packet::response(req, &self.link_cfg, self.block_bytes);
+            // Crossbar hop from the vault to the link, then serialize.
+            let Some(link_idx) = self.resp_links.pick(packet.flits) else {
+                break;
+            };
+            let at_link = self.resp_xbar.route(link_idx, now);
+            let Some((idx, delivered)) = self.resp_links.send(&packet, at_link) else {
+                break;
+            };
+            debug_assert_eq!(idx, link_idx);
+            self.resp_queue.pop_front();
+            self.token_returns
+                .push(Reverse((delivered, idx, packet.flits, true)));
+            let mut final_resp = resp;
+            final_resp.completed_at = delivered;
+            self.inflight_resp
+                .push(Reverse((delivered, self.seq, final_resp)));
+            self.seq += 1;
+        }
+    }
+
+    fn deliver_responses(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        while let Some(Reverse((at, _, _))) = self.inflight_resp.peek() {
+            if *at > now {
+                break;
+            }
+            out.push(self.inflight_resp.pop().expect("peeked").0 .2);
+        }
+    }
+
+    /// True while any queue, vault, or in-flight packet has work left.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.host_queue.is_empty()
+            || !self.inflight_req.is_empty()
+            || !self.inflight_resp.is_empty()
+            || !self.resp_queue.is_empty()
+            || self.vault_retry.iter().any(|q| !q.is_empty())
+            || self.vaults.iter().any(VaultController::busy)
+    }
+
+    /// Finalizes every vault and returns the merged statistics, including
+    /// link FLIT counts folded into the energy model.
+    pub fn finalize(&mut self, now: Cycle) -> VaultStats {
+        let mut merged = VaultStats::new();
+        for v in &mut self.vaults {
+            v.finalize(now);
+            merged.merge(v.stats());
+        }
+        let (_, req_flits, _) = self.req_links.stats();
+        let (_, resp_flits, _) = self.resp_links.stats();
+        merged.energy.link_flits = req_flits + resp_flits;
+        merged
+    }
+
+    /// Per-vault view (tests, ablations).
+    #[must_use]
+    pub fn vaults(&self) -> &[VaultController] {
+        &self.vaults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_types::addr::PhysAddr;
+    use camps_types::request::{AccessKind, CoreId, RequestId, ServiceSource};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    fn read(id: u64, addr: u64, now: Cycle) -> MemRequest {
+        MemRequest {
+            id: RequestId(id),
+            addr: PhysAddr(addr),
+            kind: AccessKind::Read,
+            core: CoreId(0),
+            created_at: now,
+        }
+    }
+
+    fn run(
+        h: &mut HmcDevice,
+        start: Cycle,
+        want: usize,
+        limit: Cycle,
+    ) -> (Vec<MemResponse>, Cycle) {
+        let mut out = Vec::new();
+        let mut now = start;
+        while out.len() < want && now < start + limit {
+            now += 1;
+            h.tick(now, &mut out);
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn read_round_trip_includes_link_and_dram_latency() {
+        let c = cfg();
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        assert!(h.submit(read(1, 0x1234_5678, 0)));
+        let (out, _) = run(&mut h, 0, 1, 50_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, RequestId(1));
+        assert_eq!(out[0].source, ServiceSource::RowBufferMiss);
+        // Row-miss DRAM latency alone is tRCD+tCL+tBURST = 99 CPU cycles;
+        // links, crossbar and SerDes must add on top.
+        assert!(out[0].latency() > 99 + 20, "latency {}", out[0].latency());
+    }
+
+    #[test]
+    fn requests_to_different_vaults_proceed_in_parallel() {
+        let c = cfg();
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        // 1 KB apart → adjacent vaults under RoRaBaVaCo.
+        for i in 0..8u64 {
+            assert!(h.submit(read(i, i * 1024, 0)));
+        }
+        let (out, end) = run(&mut h, 0, 8, 50_000);
+        assert_eq!(out.len(), 8);
+        // Parallel service: the whole batch should not take 8× a single
+        // round trip.
+        let single = {
+            let mut h2 = HmcDevice::new(&c, SchemeKind::Nopf);
+            h2.submit(read(99, 0, 0));
+            let (o, _) = run(&mut h2, 0, 1, 50_000);
+            o[0].latency()
+        };
+        assert!(
+            end < single * 4,
+            "8 vault-parallel reads took {end} vs single {single}"
+        );
+    }
+
+    #[test]
+    fn host_queue_backpressure() {
+        let c = cfg();
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut accepted = 0u64;
+        for i in 0..200 {
+            if h.submit(read(i, i * 64, 0)) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 64, "host queue depth is 64");
+        assert_eq!(h.headroom(), 0);
+    }
+
+    #[test]
+    fn busy_drains_to_idle() {
+        let c = cfg();
+        let mut h = HmcDevice::new(&c, SchemeKind::Base);
+        for i in 0..16u64 {
+            h.submit(read(i, i * 4096, 0));
+        }
+        assert!(h.busy());
+        let mut out = Vec::new();
+        let mut now = 0;
+        while h.busy() && now < 200_000 {
+            now += 1;
+            h.tick(now, &mut out);
+        }
+        assert!(!h.busy(), "cube must drain");
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn finalize_merges_vault_stats_and_link_flits() {
+        let c = cfg();
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        h.submit(read(1, 0, 0));
+        let (_, end) = run(&mut h, 0, 1, 50_000);
+        let stats = h.finalize(end);
+        assert_eq!(stats.reads.get(), 1);
+        assert_eq!(stats.row_misses.get(), 1);
+        // 1 request FLIT + 5 response FLITs.
+        assert_eq!(stats.energy.link_flits, 6);
+    }
+
+    #[test]
+    fn same_bank_requests_serialize_more_than_cross_vault() {
+        let c = cfg();
+        // Same vault, same bank, different rows → conflicts serialize.
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let row_stride = 1u64 << 19; // same vault & bank, next row (RoRaBaVaCo)
+        for i in 0..4u64 {
+            h.submit(read(i, i * row_stride, 0));
+        }
+        let (out_same, end_same) = run(&mut h, 0, 4, 100_000);
+        assert_eq!(out_same.len(), 4);
+        let mut h2 = HmcDevice::new(&c, SchemeKind::Nopf);
+        for i in 0..4u64 {
+            h2.submit(read(i, i * 1024, 0)); // different vaults
+        }
+        let (_, end_diff) = run(&mut h2, 0, 4, 100_000);
+        assert!(
+            end_same > end_diff,
+            "same-bank {end_same} vs cross-vault {end_diff}"
+        );
+        let stats = h.finalize(end_same);
+        assert!(stats.row_conflicts.get() >= 2);
+    }
+}

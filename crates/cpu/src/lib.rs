@@ -1,0 +1,21 @@
+//! Trace-driven core model.
+//!
+//! Substitution note (see DESIGN.md §5): the paper simulates 8 out-of-order
+//! x86 cores in gem5. The figures, however, are driven entirely by how much
+//! memory stall time each scheme removes, which is governed by (a) the
+//! demand miss stream and (b) how much memory-level parallelism a core can
+//! expose. This crate models exactly those two things: a 4-wide in-order
+//! retire / out-of-order complete pipeline with a finite reorder buffer, a
+//! store buffer that posts writes, and loads issued to the memory port as
+//! soon as they enter the ROB. Retirement blocks when the head is an
+//! incomplete load — the classic ROB-limit approximation of an OoO core.
+
+#![warn(missing_docs)]
+
+pub mod core_model;
+pub mod trace;
+pub mod trace_file;
+
+pub use core_model::{Core, CoreStats, MemoryPort, PortResult};
+pub use trace::{TraceOp, TraceSource, VecTrace};
+pub use trace_file::{record, FileTrace, TraceWriter};

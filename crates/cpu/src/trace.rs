@@ -1,0 +1,125 @@
+//! The instruction-trace interface consumed by the core model.
+//!
+//! A trace is an infinite stream of [`TraceOp`]s: "execute `gap` plain
+//! ALU instructions, then (optionally) one memory operation". Workload
+//! generators (in `camps-workloads`) implement [`TraceSource`]; tests use
+//! the replaying [`VecTrace`].
+
+use camps_types::addr::PhysAddr;
+use camps_types::request::AccessKind;
+
+/// One step of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Non-memory instructions preceding the memory operation.
+    pub gap: u32,
+    /// The memory operation, if any.
+    pub mem: Option<(PhysAddr, AccessKind)>,
+}
+
+impl TraceOp {
+    /// A pure-compute chunk.
+    #[must_use]
+    pub fn compute(gap: u32) -> Self {
+        Self { gap, mem: None }
+    }
+
+    /// `gap` ALU instructions followed by a load of `addr`.
+    #[must_use]
+    pub fn load(gap: u32, addr: PhysAddr) -> Self {
+        Self {
+            gap,
+            mem: Some((addr, AccessKind::Read)),
+        }
+    }
+
+    /// `gap` ALU instructions followed by a store to `addr`.
+    #[must_use]
+    pub fn store(gap: u32, addr: PhysAddr) -> Self {
+        Self {
+            gap,
+            mem: Some((addr, AccessKind::Write)),
+        }
+    }
+
+    /// Instructions this op contributes (gap + the memory op itself).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap) + u64::from(self.mem.is_some())
+    }
+}
+
+/// An infinite instruction stream.
+pub trait TraceSource: Send {
+    /// Produces the next step. Must never terminate (benchmarks loop).
+    fn next_op(&mut self) -> TraceOp;
+
+    /// Human-readable name (benchmark name in the Table II mixes).
+    fn name(&self) -> &str;
+}
+
+/// A trace that replays a fixed op sequence forever — test workhorse.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+    name: String,
+}
+
+impl VecTrace {
+    /// Wraps `ops` (must be nonempty) into a looping trace.
+    ///
+    /// # Panics
+    /// Panics if `ops` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must have at least one op");
+        Self {
+            ops,
+            pos: 0,
+            name: name.into(),
+        }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_instruction_counts() {
+        assert_eq!(TraceOp::compute(5).instructions(), 5);
+        assert_eq!(TraceOp::load(3, PhysAddr(0)).instructions(), 4);
+        assert_eq!(TraceOp::store(0, PhysAddr(0)).instructions(), 1);
+    }
+
+    #[test]
+    fn vec_trace_loops_forever() {
+        let mut t = VecTrace::new(
+            "t",
+            vec![TraceOp::compute(1), TraceOp::load(0, PhysAddr(64))],
+        );
+        assert_eq!(t.next_op(), TraceOp::compute(1));
+        assert_eq!(t.next_op(), TraceOp::load(0, PhysAddr(64)));
+        assert_eq!(t.next_op(), TraceOp::compute(1));
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_trace_panics() {
+        let _ = VecTrace::new("e", vec![]);
+    }
+}

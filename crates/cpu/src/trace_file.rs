@@ -1,0 +1,316 @@
+//! Binary trace capture and replay.
+//!
+//! Lets users run the simulator on *recorded* instruction traces — e.g.
+//! converted from Pin/DynamoRIO/Valgrind logs of real programs — instead
+//! of the synthetic generators, and lets experiments snapshot a generator's
+//! stream for exact cross-scheme replay.
+//!
+//! Format (`.camps-trace`, little-endian):
+//!
+//! ```text
+//! magic   8 B   "CAMPSTRC"
+//! version u32   1
+//! count   u64   number of records
+//! record  ×count:
+//!   gap   u32   ALU instructions before the memory op
+//!   kind  u8    0 = no memory op, 1 = load, 2 = store
+//!   addr  u64   physical address (present only when kind != 0)
+//! ```
+
+use crate::trace::{TraceOp, TraceSource};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use camps_types::addr::PhysAddr;
+use camps_types::request::AccessKind;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CAMPSTRC";
+const VERSION: u32 = 1;
+
+/// Serializes trace ops into the binary format.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    body: BytesMut,
+    count: u64,
+}
+
+impl TraceWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: &TraceOp) {
+        self.body.put_u32_le(op.gap);
+        match op.mem {
+            None => self.body.put_u8(0),
+            Some((addr, kind)) => {
+                self.body.put_u8(if kind.is_read() { 1 } else { 2 });
+                self.body.put_u64_le(addr.0);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Number of ops recorded so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the trace into its on-disk byte representation.
+    #[must_use]
+    pub fn into_bytes(self) -> Bytes {
+        let mut out = BytesMut::with_capacity(8 + 4 + 8 + self.body.len());
+        out.put_slice(MAGIC);
+        out.put_u32_le(VERSION);
+        out.put_u64_le(self.count);
+        out.extend_from_slice(&self.body);
+        out.freeze()
+    }
+
+    /// Writes the finished trace to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save(self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.into_bytes())
+    }
+}
+
+/// Records `ops` operations from any trace source into a writer.
+pub fn record(source: &mut dyn TraceSource, ops: u64) -> TraceWriter {
+    let mut w = TraceWriter::new();
+    for _ in 0..ops {
+        w.push(&source.next_op());
+    }
+    w
+}
+
+/// A recorded trace, replayed in a loop (like every other
+/// [`TraceSource`]).
+#[derive(Debug, Clone)]
+pub struct FileTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+    name: String,
+}
+
+impl FileTrace {
+    /// Parses a trace from its byte representation.
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on bad magic, version, truncation, or an
+    /// empty trace.
+    pub fn from_bytes(name: impl Into<String>, bytes: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut buf = bytes;
+        if buf.remaining() < 20 {
+            return Err(bad("trace header truncated"));
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(bad("not a CAMPS trace (bad magic)"));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(bad("unsupported trace version"));
+        }
+        let count = buf.get_u64_le();
+        if count == 0 {
+            return Err(bad("empty trace"));
+        }
+        let mut ops = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+        for _ in 0..count {
+            if buf.remaining() < 5 {
+                return Err(bad("trace record truncated"));
+            }
+            let gap = buf.get_u32_le();
+            let kind = buf.get_u8();
+            let mem = match kind {
+                0 => None,
+                1 | 2 => {
+                    if buf.remaining() < 8 {
+                        return Err(bad("trace record truncated"));
+                    }
+                    let addr = PhysAddr(buf.get_u64_le());
+                    Some((
+                        addr,
+                        if kind == 1 {
+                            AccessKind::Read
+                        } else {
+                            AccessKind::Write
+                        },
+                    ))
+                }
+                _ => return Err(bad("unknown record kind")),
+            };
+            ops.push(TraceOp { gap, mem });
+        }
+        Ok(Self {
+            ops,
+            pos: 0,
+            name: name.into(),
+        })
+    }
+
+    /// Loads a trace file from disk.
+    ///
+    /// # Errors
+    /// Propagates I/O and format failures.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let name = path
+            .as_ref()
+            .file_stem()
+            .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned());
+        let bytes = fs::read(path)?;
+        Self::from_bytes(name, &bytes)
+    }
+
+    /// Number of distinct records (one loop iteration).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Never true: construction rejects empty traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+    use proptest::prelude::*;
+
+    fn sample_ops() -> Vec<TraceOp> {
+        vec![
+            TraceOp::compute(3),
+            TraceOp::load(2, PhysAddr(0x1000)),
+            TraceOp::store(0, PhysAddr(0xFFFF_FFFF_FF40)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut w = TraceWriter::new();
+        for op in sample_ops() {
+            w.push(&op);
+        }
+        assert_eq!(w.len(), 3);
+        let bytes = w.into_bytes();
+        let mut t = FileTrace::from_bytes("rt", &bytes).unwrap();
+        for expect in sample_ops() {
+            assert_eq!(t.next_op(), expect);
+        }
+        // Loops.
+        assert_eq!(t.next_op(), sample_ops()[0]);
+    }
+
+    #[test]
+    fn record_captures_from_any_source() {
+        let mut src = VecTrace::new("src", sample_ops());
+        let w = record(&mut src, 7);
+        assert_eq!(w.len(), 7);
+        let t = FileTrace::from_bytes("cap", &w.into_bytes()).unwrap();
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("camps-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.camps-trace");
+        let mut w = TraceWriter::new();
+        for op in sample_ops() {
+            w.push(&op);
+        }
+        w.save(&path).unwrap();
+        let mut t = FileTrace::load(&path).unwrap();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.next_op(), sample_ops()[0]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(FileTrace::from_bytes("x", b"short").is_err());
+        assert!(FileTrace::from_bytes("x", b"NOTMAGIC________________").is_err());
+        // Valid header claiming records that are not there.
+        let mut bad = BytesMut::new();
+        bad.put_slice(MAGIC);
+        bad.put_u32_le(VERSION);
+        bad.put_u64_le(5);
+        assert!(FileTrace::from_bytes("x", &bad).is_err());
+        // Empty trace.
+        let mut empty = BytesMut::new();
+        empty.put_slice(MAGIC);
+        empty.put_u32_le(VERSION);
+        empty.put_u64_le(0);
+        assert!(FileTrace::from_bytes("x", &empty).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u32_le(VERSION);
+        b.put_u64_le(1);
+        b.put_u32_le(0);
+        b.put_u8(7); // bogus kind
+        assert!(FileTrace::from_bytes("x", &b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_ops_roundtrip(
+            raw in prop::collection::vec((0u32..1000, 0u8..3, any::<u64>()), 1..200)
+        ) {
+            let ops: Vec<TraceOp> = raw
+                .iter()
+                .map(|&(gap, kind, addr)| TraceOp {
+                    gap,
+                    mem: match kind {
+                        0 => None,
+                        1 => Some((PhysAddr(addr), AccessKind::Read)),
+                        _ => Some((PhysAddr(addr), AccessKind::Write)),
+                    },
+                })
+                .collect();
+            let mut w = TraceWriter::new();
+            for op in &ops {
+                w.push(op);
+            }
+            let mut t = FileTrace::from_bytes("p", &w.into_bytes()).unwrap();
+            for expect in &ops {
+                prop_assert_eq!(t.next_op(), *expect);
+            }
+        }
+    }
+}

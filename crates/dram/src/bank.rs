@@ -1,0 +1,470 @@
+//! A single DRAM bank as a timing state machine.
+//!
+//! The bank tracks the row currently latched in its row buffer plus a small
+//! set of "earliest next command" timestamps. The vault scheduler asks
+//! `can_*` before issuing; each issue method debits the relevant timing
+//! constraints (tRCD, tRP, tRAS, tRC, tWR, tRTP, tCCD) and returns when the
+//! operation's data is done. Violating a constraint is a simulator bug and
+//! panics in debug builds via the `can_*` assertions.
+
+use crate::timing::TimingCpu;
+use camps_types::clock::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// How an access relates to the bank's current row-buffer state.
+///
+/// This is the classification behind Figure 6 (row-buffer conflicts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessCategory {
+    /// The needed row is already open.
+    Hit,
+    /// The bank is precharged/idle; the row must be activated.
+    Miss,
+    /// A *different* row is open; precharge + activate are required.
+    Conflict,
+}
+
+/// One DRAM bank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    open_row: Option<u32>,
+    /// Earliest cycle the next ACT may issue (tRC from last ACT, tRP from
+    /// last PRE).
+    ready_act: Cycle,
+    /// Earliest cycle a RD/WR may issue to the open row (tRCD after ACT,
+    /// tCCD after a previous burst).
+    ready_rdwr: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS after ACT, tWR/tRTP after
+    /// bursts).
+    ready_pre: Cycle,
+    /// The bank's array/TSV path is occupied until here (row transfers).
+    busy_until: Cycle,
+    /// Total cycles the bank has spent with a row open (for energy/debug).
+    open_cycles: Cycle,
+    last_act_at: Cycle,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A precharged, idle bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            open_row: None,
+            ready_act: 0,
+            ready_rdwr: 0,
+            ready_pre: 0,
+            busy_until: 0,
+            open_cycles: 0,
+            last_act_at: 0,
+        }
+    }
+
+    /// The row currently latched in the row buffer, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// Classifies an access to `row` against the current row-buffer state.
+    #[must_use]
+    pub fn categorize(&self, row: u32) -> AccessCategory {
+        match self.open_row {
+            Some(r) if r == row => AccessCategory::Hit,
+            Some(_) => AccessCategory::Conflict,
+            None => AccessCategory::Miss,
+        }
+    }
+
+    /// True once an ACT may legally issue at `now` (bank must be idle).
+    #[must_use]
+    pub fn can_activate(&self, now: Cycle) -> bool {
+        self.open_row.is_none() && now >= self.ready_act && now >= self.busy_until
+    }
+
+    /// Earliest cycle at which [`Bank::can_activate`] could become true
+    /// (assuming the bank is already idle).
+    #[must_use]
+    pub fn activate_ready_at(&self) -> Cycle {
+        self.ready_act.max(self.busy_until)
+    }
+
+    /// Issues ACT for `row` at `now`.
+    ///
+    /// # Panics
+    /// Panics if the activation is not legal at `now`.
+    pub fn activate(&mut self, now: Cycle, row: u32, t: &TimingCpu) {
+        assert!(
+            self.can_activate(now),
+            "illegal ACT at cycle {now}: {self:?}"
+        );
+        self.open_row = Some(row);
+        self.ready_rdwr = now + t.t_rcd;
+        self.ready_pre = now + t.t_ras;
+        self.ready_act = now + t.t_rc;
+        self.last_act_at = now;
+    }
+
+    /// True once a RD or WR burst may issue at `now`.
+    #[must_use]
+    pub fn can_rdwr(&self, now: Cycle) -> bool {
+        self.open_row.is_some() && now >= self.ready_rdwr && now >= self.busy_until
+    }
+
+    /// Issues a 64 B read burst at `now`; returns the cycle the data has
+    /// fully crossed the TSVs.
+    ///
+    /// # Panics
+    /// Panics if a burst is not legal at `now`.
+    pub fn read(&mut self, now: Cycle, t: &TimingCpu) -> Cycle {
+        assert!(self.can_rdwr(now), "illegal RD at cycle {now}: {self:?}");
+        self.ready_rdwr = self.ready_rdwr.max(now + t.t_ccd);
+        self.ready_pre = self.ready_pre.max(now + t.t_rtp);
+        now + t.t_cl + t.t_burst
+    }
+
+    /// Issues a 64 B write burst at `now`; returns the cycle the write has
+    /// been absorbed by the array.
+    ///
+    /// # Panics
+    /// Panics if a burst is not legal at `now`.
+    pub fn write(&mut self, now: Cycle, t: &TimingCpu) -> Cycle {
+        assert!(self.can_rdwr(now), "illegal WR at cycle {now}: {self:?}");
+        self.ready_rdwr = self.ready_rdwr.max(now + t.t_ccd);
+        let data_done = now + t.t_wl + t.t_burst;
+        self.ready_pre = self.ready_pre.max(data_done + t.t_wr);
+        data_done
+    }
+
+    /// True once PRE may issue at `now`.
+    #[must_use]
+    pub fn can_precharge(&self, now: Cycle) -> bool {
+        self.open_row.is_some() && now >= self.ready_pre && now >= self.busy_until
+    }
+
+    /// Issues PRE at `now`, closing the row.
+    ///
+    /// # Panics
+    /// Panics if precharge is not legal at `now`.
+    pub fn precharge(&mut self, now: Cycle, t: &TimingCpu) {
+        assert!(
+            self.can_precharge(now),
+            "illegal PRE at cycle {now}: {self:?}"
+        );
+        self.open_cycles += now - self.last_act_at;
+        self.open_row = None;
+        self.ready_act = self.ready_act.max(now + t.t_rp);
+    }
+
+    /// True once a whole-row transfer (bank ↔ prefetch buffer) may start.
+    /// Needs the row latched and the array past tRCD, like a burst.
+    #[must_use]
+    pub fn can_row_transfer(&self, now: Cycle) -> bool {
+        self.can_rdwr(now)
+    }
+
+    /// Streams the open row into the prefetch buffer at `now`; the bank is
+    /// busy until the returned cycle.
+    ///
+    /// # Panics
+    /// Panics if the transfer is not legal at `now`.
+    pub fn row_transfer_out(&mut self, now: Cycle, t: &TimingCpu) -> Cycle {
+        assert!(
+            self.can_row_transfer(now),
+            "illegal row transfer at {now}: {self:?}"
+        );
+        let done = now + t.t_row_transfer;
+        self.busy_until = done;
+        self.ready_pre = self.ready_pre.max(done);
+        self.ready_rdwr = self.ready_rdwr.max(done);
+        done
+    }
+
+    /// Streams a (dirty) row from the prefetch buffer back into the open
+    /// row at `now`; write recovery applies before the row may close.
+    ///
+    /// # Panics
+    /// Panics if the transfer is not legal at `now`.
+    pub fn row_transfer_in(&mut self, now: Cycle, t: &TimingCpu) -> Cycle {
+        assert!(
+            self.can_row_transfer(now),
+            "illegal row writeback at {now}: {self:?}"
+        );
+        let done = now + t.t_row_transfer;
+        self.busy_until = done;
+        self.ready_pre = self.ready_pre.max(done + t.t_wr);
+        self.ready_rdwr = self.ready_rdwr.max(done);
+        done
+    }
+
+    /// Cumulative cycles this bank has had a row open (completed intervals
+    /// only).
+    #[must_use]
+    pub fn open_cycles(&self) -> Cycle {
+        self.open_cycles
+    }
+
+    /// True once a refresh may begin (bank idle, timing satisfied).
+    #[must_use]
+    pub fn can_refresh(&self, now: Cycle) -> bool {
+        self.open_row.is_none() && now >= self.busy_until
+    }
+
+    /// Applies an all-bank refresh starting at `now`: the bank is
+    /// unavailable for activation until `now + tRFC`.
+    ///
+    /// # Panics
+    /// Panics if the bank is not idle.
+    pub fn refresh(&mut self, now: Cycle, t: &TimingCpu) {
+        assert!(
+            self.can_refresh(now),
+            "illegal REF at cycle {now}: {self:?}"
+        );
+        self.ready_act = self.ready_act.max(now + t.t_rfc);
+        self.busy_until = self.busy_until.max(now + t.t_rfc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_types::config::SystemConfig;
+    use proptest::prelude::*;
+
+    fn t() -> TimingCpu {
+        let c = SystemConfig::paper_default();
+        TimingCpu::from_config(&c.dram, c.cpu.freq_hz)
+    }
+
+    #[test]
+    fn fresh_bank_is_idle_and_activatable() {
+        let b = Bank::new();
+        assert_eq!(b.open_row(), None);
+        assert!(b.can_activate(0));
+        assert!(!b.can_rdwr(0));
+        assert!(!b.can_precharge(0));
+    }
+
+    #[test]
+    fn categorize_matches_state() {
+        let tm = t();
+        let mut b = Bank::new();
+        assert_eq!(b.categorize(5), AccessCategory::Miss);
+        b.activate(0, 5, &tm);
+        assert_eq!(b.categorize(5), AccessCategory::Hit);
+        assert_eq!(b.categorize(6), AccessCategory::Conflict);
+    }
+
+    #[test]
+    fn trcd_gates_read_after_activate() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        assert!(!b.can_rdwr(tm.t_rcd - 1));
+        assert!(b.can_rdwr(tm.t_rcd));
+        let done = b.read(tm.t_rcd, &tm);
+        assert_eq!(done, tm.t_rcd + tm.t_cl + tm.t_burst);
+    }
+
+    #[test]
+    fn tras_gates_precharge() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        assert!(!b.can_precharge(tm.t_ras - 1));
+        assert!(b.can_precharge(tm.t_ras));
+    }
+
+    #[test]
+    fn trp_gates_next_activate() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.precharge(tm.t_ras, &tm);
+        assert!(!b.can_activate(tm.t_ras + tm.t_rp - 1));
+        assert!(b.can_activate(tm.t_ras + tm.t_rp));
+    }
+
+    #[test]
+    fn trc_gates_back_to_back_activates() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        // Precharge as early as possible (tRAS), then the next ACT is still
+        // held until tRC even though tRAS + tRP < tRC could permit earlier.
+        b.precharge(tm.t_ras, &tm);
+        let earliest = b.activate_ready_at();
+        assert_eq!(earliest, tm.t_rc.max(tm.t_ras + tm.t_rp));
+        assert!(b.can_activate(earliest));
+    }
+
+    #[test]
+    fn read_extends_precharge_by_trtp() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        // A read late in the row's life pushes PRE past tRAS.
+        let rd_at = tm.t_ras;
+        b.read(rd_at, &tm);
+        assert!(!b.can_precharge(rd_at));
+        assert!(b.can_precharge(rd_at + tm.t_rtp));
+    }
+
+    #[test]
+    fn write_recovery_gates_precharge() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        let done = b.write(tm.t_rcd, &tm);
+        assert_eq!(done, tm.t_rcd + tm.t_wl + tm.t_burst);
+        assert!(!b.can_precharge(done + tm.t_wr - 1));
+        assert!(b.can_precharge(done + tm.t_wr));
+    }
+
+    #[test]
+    fn tccd_spaces_bursts() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.read(tm.t_rcd, &tm);
+        assert!(!b.can_rdwr(tm.t_rcd + tm.t_ccd - 1));
+        assert!(b.can_rdwr(tm.t_rcd + tm.t_ccd));
+    }
+
+    #[test]
+    fn row_transfer_occupies_bank() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        let done = b.row_transfer_out(tm.t_rcd, &tm);
+        assert_eq!(done, tm.t_rcd + tm.t_row_transfer);
+        assert!(!b.can_rdwr(done - 1));
+        assert!(!b.can_precharge(done - 1));
+        assert!(b.can_precharge(done.max(tm.t_ras)));
+    }
+
+    #[test]
+    fn row_writeback_needs_write_recovery() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        let done = b.row_transfer_in(tm.t_rcd, &tm);
+        assert!(!b.can_precharge(done + tm.t_wr - 1));
+        assert!(b.can_precharge((done + tm.t_wr).max(tm.t_ras)));
+    }
+
+    #[test]
+    fn open_cycles_accumulate() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.precharge(tm.t_ras, &tm);
+        assert_eq!(b.open_cycles(), tm.t_ras);
+    }
+
+    #[test]
+    fn refresh_blocks_activation_for_trfc() {
+        let tm = t();
+        let mut b = Bank::new();
+        assert!(b.can_refresh(0));
+        b.refresh(0, &tm);
+        assert!(!b.can_activate(tm.t_rfc - 1));
+        assert!(b.can_activate(tm.t_rfc));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal REF")]
+    fn refresh_on_open_bank_panics() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.refresh(tm.t_ras, &tm);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal RD")]
+    fn premature_read_panics() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        let _ = b.read(1, &tm);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal ACT")]
+    fn activate_on_open_bank_panics() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.activate(tm.t_rc, 2, &tm);
+    }
+
+    #[test]
+    fn refresh_after_precharge_respects_trp() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.precharge(tm.t_ras, &tm);
+        // Refresh may start right after PRE (bank idle), and the next ACT
+        // honors both tRP and tRFC.
+        assert!(b.can_refresh(tm.t_ras));
+        b.refresh(tm.t_ras, &tm);
+        let ready = b.activate_ready_at();
+        assert!(ready >= tm.t_ras + tm.t_rfc);
+        assert!(b.can_activate(ready));
+    }
+
+    // Drive a bank with a random but *legal* command sequence and check
+    // the state machine never wedges: from any state, waiting long enough
+    // always re-enables progress.
+    proptest! {
+        #[test]
+        fn random_legal_sequences_never_wedge(ops in prop::collection::vec(0u8..4, 1..60)) {
+            let tm = t();
+            let mut b = Bank::new();
+            let mut now: Cycle = 0;
+            for op in ops {
+                // Advance until the chosen op (or a fallback) is legal.
+                for _ in 0..10_000 {
+                    let acted = match op {
+                        0 if b.can_activate(now) => { b.activate(now, 7, &tm); true }
+                        1 if b.can_rdwr(now) => { b.read(now, &tm); true }
+                        2 if b.can_rdwr(now) => { b.write(now, &tm); true }
+                        3 if b.can_precharge(now) => { b.precharge(now, &tm); true }
+                        // If the op can never become legal in this state
+                        // (e.g. RD while idle), switch state legally.
+                        0 | 3 if b.open_row().is_none() && op == 3 => {
+                            if b.can_activate(now) { b.activate(now, 7, &tm); }
+                            false
+                        }
+                        _ => false,
+                    };
+                    if acted {
+                        break;
+                    }
+                    now += 1;
+                    // RD/WR/PRE while idle require an ACT first.
+                    if b.open_row().is_none() && matches!(op, 1..=3) && b.can_activate(now) {
+                        b.activate(now, 7, &tm);
+                    }
+                }
+            }
+            // After any sequence the bank can always be returned to idle.
+            for _ in 0..10_000 {
+                if b.open_row().is_none() {
+                    break;
+                }
+                if b.can_precharge(now) {
+                    b.precharge(now, &tm);
+                }
+                now += 1;
+            }
+            prop_assert!(b.open_row().is_none());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Energy accounting.
+//!
+//! Each vault counts its DRAM and prefetch-engine operations; at the end of
+//! a run the counts are priced with the [`EnergyConfig`] constants plus the
+//! static background term. Figure 9 of the paper reports exactly this,
+//! normalized to the BASE scheme.
+
+use camps_types::clock::Cycle;
+use camps_types::config::EnergyConfig;
+use serde::{Deserialize, Serialize};
+
+/// Operation counters from which energy is derived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyCounters {
+    /// Row activations.
+    pub activates: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// 64 B read bursts served from banks.
+    pub read_bursts: u64,
+    /// 64 B write bursts into banks.
+    pub write_bursts: u64,
+    /// Whole-row transfers bank → prefetch buffer.
+    pub row_fetches: u64,
+    /// Whole-row transfers prefetch buffer → bank (dirty evictions).
+    pub row_writebacks: u64,
+    /// Prefetch-buffer SRAM accesses (lookups + line reads).
+    pub buffer_accesses: u64,
+    /// FLITs crossing the serial links (both directions).
+    pub link_flits: u64,
+    /// All-bank refresh operations (per vault).
+    #[serde(default)]
+    pub refreshes: u64,
+}
+
+impl EnergyCounters {
+    /// Zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds another component's counters into this one.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.read_bursts += other.read_bursts;
+        self.write_bursts += other.write_bursts;
+        self.row_fetches += other.row_fetches;
+        self.row_writebacks += other.row_writebacks;
+        self.buffer_accesses += other.buffer_accesses;
+        self.link_flits += other.link_flits;
+        self.refreshes += other.refreshes;
+    }
+
+    /// Dynamic energy in nanojoules under the given constants.
+    ///
+    /// Activate/precharge pairs are priced together (`act_pre_nj` covers
+    /// one ACT + one PRE; we charge half per operation so asymmetric counts
+    /// — e.g. a row left open at the end — still price sensibly).
+    #[must_use]
+    pub fn dynamic_nj(&self, e: &EnergyConfig) -> f64 {
+        let act_pre = (self.activates + self.precharges) as f64 * (e.act_pre_nj / 2.0);
+        let bursts =
+            self.read_bursts as f64 * e.rd_burst_nj + self.write_bursts as f64 * e.wr_burst_nj;
+        let rows = (self.row_fetches + self.row_writebacks) as f64 * e.row_transfer_nj;
+        let buffer = self.buffer_accesses as f64 * e.buffer_access_nj;
+        let link = self.link_flits as f64 * e.link_flit_nj;
+        let refresh = self.refreshes as f64 * e.refresh_nj;
+        act_pre + bursts + rows + buffer + link + refresh
+    }
+
+    /// Total energy in nanojoules over `elapsed` CPU cycles for a cube with
+    /// `vaults` vaults: dynamic + static background.
+    #[must_use]
+    pub fn total_nj(&self, e: &EnergyConfig, elapsed: Cycle, vaults: u32, cpu_hz: u64) -> f64 {
+        let seconds = elapsed as f64 / cpu_hz as f64;
+        let background_nj = e.background_mw_per_vault * 1e-3 * f64::from(vaults) * seconds * 1e9;
+        self.dynamic_nj(e) + background_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_types::config::SystemConfig;
+
+    fn e() -> EnergyConfig {
+        SystemConfig::paper_default().energy
+    }
+
+    #[test]
+    fn zero_counters_zero_dynamic_energy() {
+        assert_eq!(EnergyCounters::new().dynamic_nj(&e()), 0.0);
+    }
+
+    #[test]
+    fn act_pre_pair_prices_once() {
+        let mut c = EnergyCounters::new();
+        c.activates = 10;
+        c.precharges = 10;
+        assert!((c.dynamic_nj(&e()) - 10.0 * e().act_pre_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_energy_is_monotone_in_counts() {
+        let mut a = EnergyCounters::new();
+        a.read_bursts = 5;
+        let mut b = a;
+        b.row_fetches = 3;
+        assert!(b.dynamic_nj(&e()) > a.dynamic_nj(&e()));
+    }
+
+    #[test]
+    fn background_scales_with_time_and_vaults() {
+        let c = EnergyCounters::new();
+        let one = c.total_nj(&e(), 3_000_000_000, 1, 3_000_000_000); // 1 second
+                                                                     // background_mw_per_vault for 1 s, in nJ.
+        let expect = e().background_mw_per_vault * 1e-3 * 1e9;
+        assert!((one - expect).abs() / expect < 1e-9);
+        let many = c.total_nj(&e(), 3_000_000_000, 32, 3_000_000_000);
+        assert!((many - 32.0 * one).abs() / many < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = EnergyCounters {
+            activates: 1,
+            link_flits: 2,
+            ..Default::default()
+        };
+        let b = EnergyCounters {
+            activates: 3,
+            buffer_accesses: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.activates, 4);
+        assert_eq!(a.link_flits, 2);
+        assert_eq!(a.buffer_accesses, 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! DRAM timing parameters pre-converted into CPU cycles.
+
+use camps_types::clock::Cycle;
+use camps_types::config::DramTimingConfig;
+use serde::{Deserialize, Serialize};
+
+/// All DRAM timing constraints, in CPU cycles.
+///
+/// Built once per simulation from the memory-cycle values of
+/// [`DramTimingConfig`]; every bank and scheduler then works purely in the
+/// CPU clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingCpu {
+    /// ACT → RD/WR.
+    pub t_rcd: Cycle,
+    /// PRE → ACT.
+    pub t_rp: Cycle,
+    /// RD command → first data.
+    pub t_cl: Cycle,
+    /// ACT → PRE minimum.
+    pub t_ras: Cycle,
+    /// ACT → ACT, same bank.
+    pub t_rc: Cycle,
+    /// End of write burst → PRE.
+    pub t_wr: Cycle,
+    /// RD → PRE.
+    pub t_rtp: Cycle,
+    /// Burst-to-burst gap.
+    pub t_ccd: Cycle,
+    /// ACT → ACT, different banks in the same vault.
+    pub t_rrd: Cycle,
+    /// Four-activate window per vault.
+    pub t_faw: Cycle,
+    /// One 64 B data burst on the TSVs.
+    pub t_burst: Cycle,
+    /// Write latency (WR command → first data on the TSVs).
+    pub t_wl: Cycle,
+    /// Whole-row transfer between bank and prefetch buffer.
+    pub t_row_transfer: Cycle,
+    /// All-bank refresh interval per vault (0 = refresh disabled).
+    pub t_refi: Cycle,
+    /// All-bank refresh duration.
+    pub t_rfc: Cycle,
+}
+
+impl TimingCpu {
+    /// Converts memory-cycle timings to CPU cycles for a CPU at `cpu_hz`.
+    #[must_use]
+    pub fn from_config(cfg: &DramTimingConfig, cpu_hz: u64) -> Self {
+        let d = cfg.domain(cpu_hz);
+        let c = |mem_cycles: u64| d.to_cpu_cycles(mem_cycles);
+        Self {
+            t_rcd: c(cfg.t_rcd),
+            t_rp: c(cfg.t_rp),
+            t_cl: c(cfg.t_cl),
+            t_ras: c(cfg.t_ras),
+            t_rc: c(cfg.t_rc),
+            t_wr: c(cfg.t_wr),
+            t_rtp: c(cfg.t_rtp),
+            t_ccd: c(cfg.t_ccd),
+            t_rrd: c(cfg.t_rrd),
+            t_faw: c(cfg.t_faw),
+            t_burst: c(cfg.t_burst),
+            t_wl: c(cfg.t_wl),
+            t_row_transfer: c(cfg.t_row_transfer),
+            t_refi: c(cfg.t_refi),
+            t_rfc: c(cfg.t_rfc),
+        }
+    }
+
+    /// Latency of a row-buffer hit read: RD → data done.
+    #[must_use]
+    pub fn hit_read_latency(&self) -> Cycle {
+        self.t_cl + self.t_burst
+    }
+
+    /// Latency of a row miss on an idle bank: ACT → RD → data done.
+    #[must_use]
+    pub fn miss_read_latency(&self) -> Cycle {
+        self.t_rcd + self.hit_read_latency()
+    }
+
+    /// Latency of a row-buffer conflict: PRE → ACT → RD → data done.
+    #[must_use]
+    pub fn conflict_read_latency(&self) -> Cycle {
+        self.t_rp + self.miss_read_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_types::config::SystemConfig;
+
+    fn paper_timing() -> TimingCpu {
+        let c = SystemConfig::paper_default();
+        TimingCpu::from_config(&c.dram, c.cpu.freq_hz)
+    }
+
+    #[test]
+    fn table1_core_timings() {
+        let t = paper_timing();
+        // 11 mem cycles × 15/4 = 41.25 → 42 CPU cycles.
+        assert_eq!(t.t_rcd, 42);
+        assert_eq!(t.t_rp, 42);
+        assert_eq!(t.t_cl, 42);
+        // 28 × 3.75 = 105, 39 × 3.75 = 146.25 → 147.
+        assert_eq!(t.t_ras, 105);
+        assert_eq!(t.t_rc, 147);
+        assert_eq!(t.t_burst, 15);
+    }
+
+    #[test]
+    fn latency_ladder_is_ordered() {
+        let t = paper_timing();
+        assert!(t.hit_read_latency() < t.miss_read_latency());
+        assert!(t.miss_read_latency() < t.conflict_read_latency());
+        assert_eq!(t.conflict_read_latency() - t.miss_read_latency(), t.t_rp);
+        assert_eq!(t.miss_read_latency() - t.hit_read_latency(), t.t_rcd);
+    }
+
+    #[test]
+    fn refresh_cadence_converts() {
+        let t = paper_timing();
+        // 6240 mem cycles × 15/4 = 23400 CPU cycles ≈ 7.8 µs at 3 GHz.
+        assert_eq!(t.t_refi, 23_400);
+        assert_eq!(t.t_rfc, 780);
+        // Refresh overhead ≈ tRFC/tREFI ≈ 3.3 % of bank time.
+        assert!((t.t_rfc as f64 / t.t_refi as f64) < 0.04);
+    }
+
+    #[test]
+    fn row_transfer_uses_internal_bandwidth() {
+        // 40 mem cycles = 150 CPU cycles for a full 1 KB row: the row-wide
+        // TSV path moves data at 1.6× the burst-path rate (10 bus slots for
+        // 16 blocks) — "huge internal bandwidth", but not free. Calibrated:
+        // cheaper and BASE's blind fetching dominates every scheme; more
+        // expensive and it collapses below no-prefetching (EXPERIMENTS.md).
+        let t = paper_timing();
+        assert_eq!(t.t_row_transfer, 150);
+        assert_eq!(t.t_row_transfer, 10 * t.t_burst);
+        assert!(t.t_row_transfer < 16 * t.hit_read_latency());
+    }
+}

@@ -1,0 +1,20 @@
+//! HMC interconnect substrate: FLIT-level packets, full-duplex serial
+//! links, and the logic-base crossbar.
+//!
+//! The paper's Table I: 4 serial links, 16 input + 16 output lanes each
+//! (full duplex), 12.5 Gbps per lane. Requests from the host memory
+//! controller are packetized into 16-byte FLITs (HMC 2.1 framing: one
+//! header/tail FLIT plus data FLITs), serialized onto a link, routed
+//! through the crossbar to a vault, and responses travel the reverse path.
+//! Prefetch traffic never touches these links — that asymmetry is the
+//! paper's core motivation for *memory-side* prefetching.
+
+#![warn(missing_docs)]
+
+pub mod crossbar;
+pub mod packet;
+pub mod serdes;
+
+pub use crossbar::Crossbar;
+pub use packet::{Packet, PacketKind};
+pub use serdes::{LinkSet, SerialLink};

@@ -1,0 +1,141 @@
+//! HMC 2.1-style packet framing.
+//!
+//! Every packet carries one header + tail FLIT of 16 bytes; data payloads
+//! add `ceil(bytes / 16)` FLITs. A 64 B read response is therefore 5 FLITs
+//! (80 B on the wire), while a read request or write acknowledgment is a
+//! single FLIT — the framing asymmetry that makes response bandwidth the
+//! scarce link resource.
+
+use camps_types::config::LinkConfig;
+use camps_types::request::{AccessKind, MemRequest};
+use serde::{Deserialize, Serialize};
+
+/// Packet classes crossing the serial links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Host → cube: 64 B read request (header/tail only).
+    ReadReq,
+    /// Host → cube: 64 B write request (header/tail + data).
+    WriteReq,
+    /// Cube → host: read completion with data.
+    ReadResp,
+    /// Cube → host: write acknowledgment (header/tail only).
+    WriteResp,
+}
+
+impl PacketKind {
+    /// Data payload bytes carried by this packet class for a 64 B block.
+    #[must_use]
+    pub fn payload_bytes(self, block_bytes: u32) -> u32 {
+        match self {
+            Self::ReadReq | Self::WriteResp => 0,
+            Self::WriteReq | Self::ReadResp => block_bytes,
+        }
+    }
+
+    /// True for host → cube packets.
+    #[must_use]
+    pub fn is_request(self) -> bool {
+        matches!(self, Self::ReadReq | Self::WriteReq)
+    }
+}
+
+/// A framed packet: the carried demand request plus its wire size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Packet {
+    /// Packet class.
+    pub kind: PacketKind,
+    /// The demand request this packet carries (or answers).
+    pub request: MemRequest,
+    /// Wire size in FLITs.
+    pub flits: u32,
+}
+
+impl Packet {
+    /// Frames the host → cube packet for `request` (block size
+    /// `block_bytes`).
+    #[must_use]
+    pub fn request(request: MemRequest, link: &LinkConfig, block_bytes: u32) -> Self {
+        let kind = match request.kind {
+            AccessKind::Read => PacketKind::ReadReq,
+            AccessKind::Write => PacketKind::WriteReq,
+        };
+        Self {
+            kind,
+            request,
+            flits: link.flits_for(kind.payload_bytes(block_bytes)),
+        }
+    }
+
+    /// Frames the cube → host response for `request`.
+    #[must_use]
+    pub fn response(request: MemRequest, link: &LinkConfig, block_bytes: u32) -> Self {
+        let kind = match request.kind {
+            AccessKind::Read => PacketKind::ReadResp,
+            AccessKind::Write => PacketKind::WriteResp,
+        };
+        Self {
+            kind,
+            request,
+            flits: link.flits_for(kind.payload_bytes(block_bytes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_types::addr::PhysAddr;
+    use camps_types::config::SystemConfig;
+    use camps_types::request::{CoreId, RequestId};
+
+    fn req(kind: AccessKind) -> MemRequest {
+        MemRequest {
+            id: RequestId(1),
+            addr: PhysAddr(0x1000),
+            kind,
+            core: CoreId(0),
+            created_at: 0,
+        }
+    }
+
+    #[test]
+    fn read_request_is_one_flit() {
+        let c = SystemConfig::paper_default();
+        let p = Packet::request(req(AccessKind::Read), &c.link, 64);
+        assert_eq!(p.kind, PacketKind::ReadReq);
+        assert_eq!(p.flits, 1);
+    }
+
+    #[test]
+    fn write_request_carries_data() {
+        let c = SystemConfig::paper_default();
+        let p = Packet::request(req(AccessKind::Write), &c.link, 64);
+        assert_eq!(p.kind, PacketKind::WriteReq);
+        assert_eq!(p.flits, 5); // 1 + 64/16
+    }
+
+    #[test]
+    fn read_response_carries_data() {
+        let c = SystemConfig::paper_default();
+        let p = Packet::response(req(AccessKind::Read), &c.link, 64);
+        assert_eq!(p.kind, PacketKind::ReadResp);
+        assert_eq!(p.flits, 5);
+    }
+
+    #[test]
+    fn write_response_is_one_flit() {
+        let c = SystemConfig::paper_default();
+        let p = Packet::response(req(AccessKind::Write), &c.link, 64);
+        assert_eq!(p.kind, PacketKind::WriteResp);
+        assert_eq!(p.flits, 1);
+    }
+
+    #[test]
+    fn request_direction_classification() {
+        assert!(PacketKind::ReadReq.is_request());
+        assert!(PacketKind::WriteReq.is_request());
+        assert!(!PacketKind::ReadResp.is_request());
+        assert!(!PacketKind::WriteResp.is_request());
+    }
+}

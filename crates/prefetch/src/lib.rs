@@ -1,0 +1,31 @@
+//! The CAMPS prefetch engine — the paper's contribution.
+//!
+//! Each HMC vault controller owns:
+//!
+//! * a [`buffer::PrefetchBuffer`] (Table I: 16 KB, fully associative, 1 KB
+//!   row entries, 22-cycle hit latency) with a pluggable
+//!   [`replacement`] policy — plain LRU or the paper's §3.2
+//!   utilization + recency policy,
+//! * a [`tables::RowUtilizationTable`] (RUT, one entry per bank) and a
+//!   [`tables::ConflictTable`] (CT, 32 entries, fully associative, LRU)
+//!   driving the §3.1 conflict-aware prefetch decision,
+//! * a [`scheme::PrefetchScheme`] implementing one of the evaluated
+//!   policies: `NOPF`, `BASE`, `BASE-HIT`, `MMD`, `CAMPS`, `CAMPS-MOD`.
+//!
+//! The vault controller (in `camps-vault`) feeds the scheme a stream of
+//! row-buffer events and executes the returned [`scheme::PfAction`]s; this
+//! crate is purely the decision + bookkeeping logic, so every mechanism is
+//! unit-testable without a DRAM model.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod replacement;
+pub mod scheme;
+pub mod schemes;
+pub mod tables;
+
+pub use buffer::{Evicted, PrefetchBuffer};
+pub use replacement::ReplacementKind;
+pub use scheme::{PfAction, PrefetchScheme, SchemeKind};
+pub use tables::{ConflictTable, RowUtilizationTable};

@@ -1,0 +1,13 @@
+//! Concrete implementations of the evaluated prefetching schemes.
+
+pub mod base;
+pub mod base_hit;
+pub mod camps;
+pub mod mmd;
+pub mod none;
+
+pub use base::Base;
+pub use base_hit::BaseHit;
+pub use camps::Camps;
+pub use mmd::Mmd;
+pub use none::Nopf;

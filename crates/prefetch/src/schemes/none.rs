@@ -1,0 +1,51 @@
+//! NOPF — no prefetching.
+//!
+//! Not part of the paper's figures; used as the ablation reference point
+//! that isolates how much of each scheme's gain comes from prefetching at
+//! all versus from the decision policy.
+
+use crate::replacement::ReplacementKind;
+use crate::scheme::{PfAction, PrefetchScheme, SchemeKind};
+use camps_types::addr::RowKey;
+
+/// The do-nothing scheme.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Nopf;
+
+impl PrefetchScheme for Nopf {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Nopf
+    }
+
+    fn replacement(&self) -> ReplacementKind {
+        ReplacementKind::Lru
+    }
+
+    fn on_row_hit(&mut self, _key: RowKey, _queued_same_row: u32) -> PfAction {
+        PfAction::None
+    }
+
+    fn on_row_activated(
+        &mut self,
+        _key: RowKey,
+        _conflict: bool,
+        _queued_same_row: u32,
+    ) -> PfAction {
+        PfAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_prefetches() {
+        let mut s = Nopf;
+        let k = RowKey { bank: 0, row: 1 };
+        assert_eq!(s.on_row_hit(k, 10), PfAction::None);
+        assert_eq!(s.on_row_activated(k, true, 10), PfAction::None);
+        s.on_buffer_hit(k, true); // default no-ops must not panic
+        s.on_buffer_evicted(k, false);
+    }
+}

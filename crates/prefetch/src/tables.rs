@@ -1,0 +1,289 @@
+//! The CAMPS profiling tables (§3.1).
+//!
+//! * [`RowUtilizationTable`] (RUT) — one entry per bank in the vault
+//!   (16 in Table I, 20 bits each): tracks how many requests have been
+//!   served from the row *currently open* in that bank's row buffer.
+//! * [`ConflictTable`] (CT) — 32 entries per vault, fully associative,
+//!   shared by all banks, LRU-replaced: remembers rows recently displaced
+//!   from row buffers. A row found here on re-activation has been bouncing
+//!   in and out of the row buffer — a conflict-prone row worth prefetching.
+
+use camps_types::addr::RowKey;
+use serde::{Deserialize, Serialize};
+
+/// Per-bank utilization counters for the currently open rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowUtilizationTable {
+    /// `entries[bank]` = (row, hits served from it while open).
+    entries: Vec<Option<(u32, u32)>>,
+}
+
+impl RowUtilizationTable {
+    /// One slot per bank.
+    #[must_use]
+    pub fn new(banks: u32) -> Self {
+        Self {
+            entries: vec![None; banks as usize],
+        }
+    }
+
+    /// Current tracked (row, count) for `bank`.
+    #[must_use]
+    pub fn get(&self, bank: u16) -> Option<(u32, u32)> {
+        self.entries[bank as usize]
+    }
+
+    /// Records a row-buffer hit on `row` in `bank` and returns the updated
+    /// count. If the table was tracking nothing (or — after a prefetch
+    /// cleared it — a stale row), it starts tracking `row` at 1.
+    pub fn record_hit(&mut self, bank: u16, row: u32) -> u32 {
+        let slot = &mut self.entries[bank as usize];
+        match slot {
+            Some((r, c)) if *r == row => {
+                *c += 1;
+                *c
+            }
+            _ => {
+                *slot = Some((row, 1));
+                1
+            }
+        }
+    }
+
+    /// A new row was opened in `bank`: starts tracking it (count 1 — the
+    /// activation serves a request) and returns the *displaced* entry, if
+    /// any, which §3.1 moves into the Conflict Table.
+    pub fn open_row(&mut self, bank: u16, row: u32) -> Option<(u32, u32)> {
+        self.entries[bank as usize]
+            .replace((row, 1))
+            .filter(|(r, _)| *r != row)
+    }
+
+    /// Clears the entry for `bank` (done after the tracked row is
+    /// prefetched and the bank precharged).
+    pub fn clear(&mut self, bank: u16) {
+        self.entries[bank as usize] = None;
+    }
+}
+
+/// Fully associative, LRU-managed table of conflict-victim rows.
+///
+/// Each entry carries the displaced row's accumulated utilization count —
+/// the paper sizes CT entries at 20 bits precisely so "the row utilization
+/// information kept in CT is used later to determine whether a row causes
+/// row buffer conflicts" (§3.1): evidence accumulates across displacements
+/// of the same row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictTable {
+    /// Most recently inserted/refreshed first: (row, accumulated accesses).
+    entries: Vec<(RowKey, u32)>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl ConflictTable {
+    /// An empty table of `capacity` entries (32 in §3.1).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "conflict table needs at least one entry");
+        Self {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            evictions: 0,
+        }
+    }
+
+    /// Number of tracked rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table tracks nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `key` is tracked (no LRU update).
+    #[must_use]
+    pub fn contains(&self, key: RowKey) -> bool {
+        self.entries.iter().any(|&(k, _)| k == key)
+    }
+
+    /// Accumulated utilization recorded for `key`, if tracked.
+    #[must_use]
+    pub fn count_of(&self, key: RowKey) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, c)| c)
+    }
+
+    /// Inserts `key` as MRU with `count` accesses from its just-ended
+    /// residency, accumulating onto any existing entry; evicts the LRU row
+    /// when full.
+    pub fn insert(&mut self, key: RowKey, count: u32) {
+        let prior = match self.entries.iter().position(|&(k, _)| k == key) {
+            Some(pos) => self.entries.remove(pos).1,
+            None => {
+                if self.entries.len() == self.capacity {
+                    self.entries.pop();
+                    self.evictions += 1;
+                }
+                0
+            }
+        };
+        self.entries.insert(0, (key, prior.saturating_add(count)));
+    }
+
+    /// Removes `key` (done once the row has been prefetched), returning
+    /// its accumulated count if it was present.
+    pub fn remove(&mut self, key: RowKey) -> Option<u32> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// LRU evictions performed so far (capacity-pressure metric).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(bank: u16, row: u32) -> RowKey {
+        RowKey { bank, row }
+    }
+
+    #[test]
+    fn rut_counts_hits_per_open_row() {
+        let mut rut = RowUtilizationTable::new(16);
+        assert_eq!(rut.record_hit(3, 100), 1);
+        assert_eq!(rut.record_hit(3, 100), 2);
+        assert_eq!(rut.record_hit(3, 100), 3);
+        assert_eq!(rut.get(3), Some((100, 3)));
+        assert_eq!(rut.get(4), None);
+    }
+
+    #[test]
+    fn rut_hit_on_untracked_row_restarts_count() {
+        let mut rut = RowUtilizationTable::new(16);
+        rut.record_hit(0, 7);
+        rut.record_hit(0, 7);
+        // The vault opened row 9 without informing RUT (e.g. after clear):
+        // a hit on 9 restarts tracking rather than counting toward row 7.
+        assert_eq!(rut.record_hit(0, 9), 1);
+        assert_eq!(rut.get(0), Some((9, 1)));
+    }
+
+    #[test]
+    fn rut_open_row_displaces_previous_entry() {
+        let mut rut = RowUtilizationTable::new(16);
+        rut.record_hit(2, 50);
+        rut.record_hit(2, 50);
+        let displaced = rut.open_row(2, 60);
+        assert_eq!(displaced, Some((50, 2)));
+        assert_eq!(rut.get(2), Some((60, 1)));
+    }
+
+    #[test]
+    fn rut_reopen_same_row_displaces_nothing() {
+        let mut rut = RowUtilizationTable::new(16);
+        rut.open_row(1, 5);
+        assert_eq!(rut.open_row(1, 5), None);
+    }
+
+    #[test]
+    fn rut_clear_empties_bank_slot() {
+        let mut rut = RowUtilizationTable::new(16);
+        rut.record_hit(0, 1);
+        rut.clear(0);
+        assert_eq!(rut.get(0), None);
+    }
+
+    #[test]
+    fn ct_insert_contains_remove() {
+        let mut ct = ConflictTable::new(4);
+        ct.insert(key(0, 1), 2);
+        assert!(ct.contains(key(0, 1)));
+        assert_eq!(ct.count_of(key(0, 1)), Some(2));
+        assert_eq!(ct.remove(key(0, 1)), Some(2));
+        assert!(!ct.contains(key(0, 1)));
+        assert_eq!(ct.remove(key(0, 1)), None);
+    }
+
+    #[test]
+    fn ct_lru_eviction_when_full() {
+        let mut ct = ConflictTable::new(2);
+        ct.insert(key(0, 1), 1);
+        ct.insert(key(0, 2), 1);
+        ct.insert(key(0, 3), 1); // evicts (0,1), the LRU
+        assert!(!ct.contains(key(0, 1)));
+        assert!(ct.contains(key(0, 2)));
+        assert!(ct.contains(key(0, 3)));
+        assert_eq!(ct.evictions(), 1);
+    }
+
+    #[test]
+    fn ct_reinsert_accumulates_and_refreshes_lru() {
+        let mut ct = ConflictTable::new(2);
+        ct.insert(key(0, 1), 1);
+        ct.insert(key(0, 2), 1);
+        ct.insert(key(0, 1), 3); // refresh → (0,2) becomes LRU; count 1+3
+        assert_eq!(ct.count_of(key(0, 1)), Some(4));
+        ct.insert(key(0, 3), 1);
+        assert!(ct.contains(key(0, 1)));
+        assert!(!ct.contains(key(0, 2)));
+    }
+
+    #[test]
+    fn ct_shared_across_banks() {
+        let mut ct = ConflictTable::new(32);
+        for bank in 0..16 {
+            ct.insert(key(bank, 1), 1);
+        }
+        assert_eq!(ct.len(), 16);
+        for bank in 0..16 {
+            assert!(ct.contains(key(bank, 1)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ct_never_exceeds_capacity_and_keeps_mru(
+            rows in prop::collection::vec((0u16..4, 0u32..50), 1..200)
+        ) {
+            let mut ct = ConflictTable::new(8);
+            for &(b, r) in &rows {
+                ct.insert(key(b, r), 1);
+                prop_assert!(ct.len() <= 8);
+                prop_assert!(ct.contains(key(b, r)), "just-inserted row must be present");
+            }
+        }
+
+        #[test]
+        fn rut_counts_are_per_bank_independent(
+            hits in prop::collection::vec((0u16..8, 0u32..4), 1..100)
+        ) {
+            let mut rut = RowUtilizationTable::new(8);
+            let mut model: Vec<Option<(u32, u32)>> = vec![None; 8];
+            for &(b, r) in &hits {
+                let c = rut.record_hit(b, r);
+                let slot = &mut model[b as usize];
+                match slot {
+                    Some((mr, mc)) if *mr == r => *mc += 1,
+                    _ => *slot = Some((r, 1)),
+                }
+                prop_assert_eq!(Some((r, c)), *slot);
+            }
+        }
+    }
+}

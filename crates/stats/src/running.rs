@@ -1,0 +1,162 @@
+//! Streaming statistics (Welford's online algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance / min / max over `f64` samples.
+///
+/// Uses Welford's numerically stable update, so it can absorb billions of
+/// latency samples without catastrophic cancellation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance, `None` if empty.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, `None` if empty.
+    #[must_use]
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample, `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_none() {
+        let r = Running::new();
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.variance(), None);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.record(x);
+        }
+        assert!((r.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((r.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(r.stddev().unwrap(), 2.0);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = Running::new();
+        let mut b = Running::new();
+        b.record(3.0);
+        a.merge(&b); // empty ← nonempty
+        assert_eq!(a.mean(), Some(3.0));
+        let before = a;
+        a.merge(&Running::new()); // nonempty ← empty
+        assert_eq!(a, before);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+            ys in prop::collection::vec(-1e6f64..1e6, 1..100),
+        ) {
+            let mut split_a = Running::new();
+            for &x in &xs { split_a.record(x); }
+            let mut split_b = Running::new();
+            for &y in &ys { split_b.record(y); }
+            split_a.merge(&split_b);
+
+            let mut seq = Running::new();
+            for &v in xs.iter().chain(&ys) { seq.record(v); }
+
+            prop_assert_eq!(split_a.count(), seq.count());
+            prop_assert!((split_a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-6);
+            prop_assert!(
+                (split_a.variance().unwrap() - seq.variance().unwrap()).abs()
+                    / seq.variance().unwrap().max(1.0) < 1e-6
+            );
+            prop_assert_eq!(split_a.min(), seq.min());
+            prop_assert_eq!(split_a.max(), seq.max());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggregation helpers used when folding per-workload results into the
+//! paper's summary numbers.
+//!
+//! The paper reports performance as "the geometric mean of the IPC values of
+//! different workloads running on the eight processor cores", normalized to
+//! the BASE scheme (§5.1) — [`geomean`] and [`normalize_to`] implement
+//! exactly that pipeline.
+
+/// Geometric mean of strictly positive values; `None` if the slice is empty
+/// or contains a non-positive value.
+#[must_use]
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` if empty.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Normalizes each value against the matching baseline value
+/// (`value / baseline`), the transformation behind every "normalized to
+/// BASE" figure.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn normalize_to(values: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        values.len(),
+        baseline.len(),
+        "normalize_to: length mismatch"
+    );
+    values.iter().zip(baseline).map(|(v, b)| v / b).collect()
+}
+
+/// Percentage change from `from` to `to`: `+17.9` means 17.9 % higher.
+#[must_use]
+pub fn percent_change(from: f64, to: f64) -> f64 {
+    (to - from) / from * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_is_identity() {
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_known_value() {
+        // gm(1, 4) = 2; gm(1, 2, 4) = 2.
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 2.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_bad_input() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(geomean(&[1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn geomean_leq_mean() {
+        // AM-GM inequality.
+        let v = [1.0, 3.0, 9.0, 27.0];
+        assert!(geomean(&v).unwrap() <= mean(&v).unwrap());
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn normalize_basics() {
+        let n = normalize_to(&[2.0, 3.0], &[1.0, 2.0]);
+        assert_eq!(n, vec![2.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalize_length_mismatch_panics() {
+        let _ = normalize_to(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert!((percent_change(1.0, 1.179) - 17.9).abs() < 1e-9);
+        assert!(percent_change(2.0, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Physical addresses and the HMC address mapping.
+//!
+//! Table I of the paper specifies the mapping `RoRaBaVaCo`
+//! (row : rank : bank : vault : column, from most- to least-significant
+//! bits, with the 64-byte block offset below the column bits). Placing the
+//! vault and column bits low interleaves consecutive blocks of a row across
+//! vaults? No — in `RoRaBaVaCo` the *column* bits are lowest, so the 16
+//! consecutive 64 B blocks of a 1 KB row sit in the same bank of the same
+//! vault, and consecutive *rows* of the address space rotate across vaults
+//! then banks. This is what gives CAMPS its row-granularity locality.
+//!
+//! Alternative schemes are provided for ablation studies.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical byte address in the HMC-backed physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The address of the 64-byte block containing this address.
+    #[must_use]
+    pub fn block_base(self, block_bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 & !(block_bytes - 1))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+/// Bit-field order used to decompose a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// `row : rank : bank : vault : column : offset` — the paper's mapping
+    /// (Table I). Consecutive rows rotate across vaults, keeping each row's
+    /// blocks together in one bank.
+    RoRaBaVaCo,
+    /// `row : rank : vault : bank : column : offset` — rotates consecutive
+    /// rows across banks first; ablation alternative.
+    RoRaVaBaCo,
+    /// `vault : row : rank : bank : column : offset` — coarse vault
+    /// partitioning (each vault owns a contiguous slice); ablation
+    /// alternative that minimizes vault-level interleaving.
+    VaRoBaCo,
+}
+
+impl MappingScheme {
+    /// All supported schemes, for sweeps.
+    pub const ALL: [MappingScheme; 3] = [Self::RoRaBaVaCo, Self::RoRaVaBaCo, Self::VaRoBaCo];
+}
+
+impl fmt::Display for MappingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::RoRaBaVaCo => "RoRaBaVaCo",
+            Self::RoRaVaBaCo => "RoRaVaBaCo",
+            Self::VaRoBaCo => "VaRoBaCo",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully decoded address: which vault, bank, row, and block-column a
+/// physical address refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DecodedAddr {
+    /// Vault index within the cube, `0..vaults`.
+    pub vault: u16,
+    /// Bank index within the vault, `0..banks_per_vault`.
+    pub bank: u16,
+    /// Row index within the bank.
+    pub row: u32,
+    /// 64 B block index within the row, `0..blocks_per_row`.
+    pub col: u16,
+    /// Byte offset within the block.
+    pub offset: u16,
+}
+
+impl DecodedAddr {
+    /// Key identifying the row this address falls in, unique within a vault.
+    #[must_use]
+    pub fn row_key(&self) -> RowKey {
+        RowKey {
+            bank: self.bank,
+            row: self.row,
+        }
+    }
+}
+
+/// A (bank, row) pair — the granularity at which CAMPS prefetches and at
+/// which the conflict/utilization tables operate. Unique within one vault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowKey {
+    /// Bank index within the vault.
+    pub bank: u16,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+/// Address encoder/decoder for a fixed HMC geometry.
+///
+/// All geometry fields must be powers of two so the mapping is a pure
+/// bit-slice permutation (as in real hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    scheme: MappingScheme,
+    vaults: u32,
+    banks_per_vault: u32,
+    ranks: u32,
+    rows_per_bank: u32,
+    row_bytes: u32,
+    block_bytes: u32,
+    // Cached bit widths.
+    offset_bits: u32,
+    col_bits: u32,
+    vault_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressMapping {
+    /// Builds a mapping for the given geometry.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] if any field is zero or not a power of two,
+    /// or if the row size is not a multiple of the block size.
+    pub fn new(
+        scheme: MappingScheme,
+        vaults: u32,
+        banks_per_vault: u32,
+        ranks: u32,
+        rows_per_bank: u32,
+        row_bytes: u32,
+        block_bytes: u32,
+    ) -> Result<Self, ConfigError> {
+        for (name, v) in [
+            ("vaults", vaults),
+            ("banks_per_vault", banks_per_vault),
+            ("ranks", ranks),
+            ("rows_per_bank", rows_per_bank),
+            ("row_bytes", row_bytes),
+            ("block_bytes", block_bytes),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo {
+                    field: name,
+                    value: v as u64,
+                });
+            }
+        }
+        if row_bytes < block_bytes {
+            return Err(ConfigError::Invalid {
+                field: "row_bytes",
+                reason: "row must be at least one block".into(),
+            });
+        }
+        let blocks_per_row = row_bytes / block_bytes;
+        Ok(Self {
+            scheme,
+            vaults,
+            banks_per_vault,
+            ranks,
+            rows_per_bank,
+            row_bytes,
+            block_bytes,
+            offset_bits: block_bytes.trailing_zeros(),
+            col_bits: blocks_per_row.trailing_zeros(),
+            vault_bits: vaults.trailing_zeros(),
+            bank_bits: banks_per_vault.trailing_zeros(),
+            rank_bits: ranks.trailing_zeros(),
+            row_bits: rows_per_bank.trailing_zeros(),
+        })
+    }
+
+    /// Total cube capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.vaults)
+            * u64::from(self.banks_per_vault)
+            * u64::from(self.ranks)
+            * u64::from(self.rows_per_bank)
+            * u64::from(self.row_bytes)
+    }
+
+    /// Number of address bits consumed by the mapping.
+    #[must_use]
+    pub fn addr_bits(&self) -> u32 {
+        self.offset_bits
+            + self.col_bits
+            + self.vault_bits
+            + self.bank_bits
+            + self.rank_bits
+            + self.row_bits
+    }
+
+    /// Number of 64 B blocks in one row.
+    #[must_use]
+    pub fn blocks_per_row(&self) -> u32 {
+        self.row_bytes / self.block_bytes
+    }
+
+    /// The configured mapping scheme.
+    #[must_use]
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// Number of vaults in the cube.
+    #[must_use]
+    pub fn vaults(&self) -> u32 {
+        self.vaults
+    }
+
+    /// Number of banks per vault.
+    #[must_use]
+    pub fn banks_per_vault(&self) -> u32 {
+        self.banks_per_vault
+    }
+
+    /// Number of rows per bank.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Row size in bytes (the prefetch granularity).
+    #[must_use]
+    pub fn row_bytes(&self) -> u32 {
+        self.row_bytes
+    }
+
+    /// Cache block size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Decodes a physical address. Addresses beyond the capacity wrap
+    /// (the top bits are ignored), mirroring how hardware decoders slice a
+    /// fixed window of bits.
+    #[must_use]
+    pub fn decode(&self, addr: PhysAddr) -> DecodedAddr {
+        let mut a = addr.0;
+        let offset = take(&mut a, self.offset_bits) as u16;
+        let col = take(&mut a, self.col_bits) as u16;
+        let (vault, bank, _rank, row);
+        match self.scheme {
+            MappingScheme::RoRaBaVaCo => {
+                vault = take(&mut a, self.vault_bits) as u16;
+                bank = take(&mut a, self.bank_bits) as u16;
+                _rank = take(&mut a, self.rank_bits);
+                row = take(&mut a, self.row_bits) as u32;
+            }
+            MappingScheme::RoRaVaBaCo => {
+                bank = take(&mut a, self.bank_bits) as u16;
+                vault = take(&mut a, self.vault_bits) as u16;
+                _rank = take(&mut a, self.rank_bits);
+                row = take(&mut a, self.row_bits) as u32;
+            }
+            MappingScheme::VaRoBaCo => {
+                bank = take(&mut a, self.bank_bits) as u16;
+                _rank = take(&mut a, self.rank_bits);
+                row = take(&mut a, self.row_bits) as u32;
+                vault = take(&mut a, self.vault_bits) as u16;
+            }
+        }
+        DecodedAddr {
+            vault,
+            bank,
+            row,
+            col,
+            offset,
+        }
+    }
+
+    /// Re-encodes a decoded address into the physical address it came from.
+    ///
+    /// `decode` and `encode` are exact inverses for in-range addresses
+    /// (property-tested below).
+    #[must_use]
+    pub fn encode(&self, d: &DecodedAddr) -> PhysAddr {
+        let mut a: u64 = 0;
+        let mut shift = 0u32;
+        let mut put = |value: u64, bits: u32| {
+            a |= value << shift;
+            shift += bits;
+        };
+        put(u64::from(d.offset), self.offset_bits);
+        put(u64::from(d.col), self.col_bits);
+        match self.scheme {
+            MappingScheme::RoRaBaVaCo => {
+                put(u64::from(d.vault), self.vault_bits);
+                put(u64::from(d.bank), self.bank_bits);
+                put(0, self.rank_bits);
+                put(u64::from(d.row), self.row_bits);
+            }
+            MappingScheme::RoRaVaBaCo => {
+                put(u64::from(d.bank), self.bank_bits);
+                put(u64::from(d.vault), self.vault_bits);
+                put(0, self.rank_bits);
+                put(u64::from(d.row), self.row_bits);
+            }
+            MappingScheme::VaRoBaCo => {
+                put(u64::from(d.bank), self.bank_bits);
+                put(0, self.rank_bits);
+                put(u64::from(d.row), self.row_bits);
+                put(u64::from(d.vault), self.vault_bits);
+            }
+        }
+        PhysAddr(a)
+    }
+
+    /// The physical address of block `col` within the row `key` of vault
+    /// `vault` — used when a prefetched row is filled into the buffer and
+    /// its blocks need block addresses for cache fills.
+    #[must_use]
+    pub fn block_addr(&self, vault: u16, key: RowKey, col: u16) -> PhysAddr {
+        self.encode(&DecodedAddr {
+            vault,
+            bank: key.bank,
+            row: key.row,
+            col,
+            offset: 0,
+        })
+    }
+}
+
+/// Pops the low `bits` bits off `a`, returning them.
+fn take(a: &mut u64, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let v = *a & ((1u64 << bits) - 1);
+    *a >>= bits;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_mapping() -> AddressMapping {
+        // Table I: 32 vaults, 16 banks/vault, 1 KB rows, 64 B blocks, 4 GB.
+        AddressMapping::new(MappingScheme::RoRaBaVaCo, 32, 16, 1, 8192, 1024, 64).unwrap()
+    }
+
+    #[test]
+    fn paper_geometry_capacity_is_4gib() {
+        let m = paper_mapping();
+        assert_eq!(m.capacity_bytes(), 4 << 30);
+        assert_eq!(m.addr_bits(), 32);
+        assert_eq!(m.blocks_per_row(), 16);
+    }
+
+    #[test]
+    fn zero_address_decodes_to_origin() {
+        let d = paper_mapping().decode(PhysAddr(0));
+        assert_eq!(
+            d,
+            DecodedAddr {
+                vault: 0,
+                bank: 0,
+                row: 0,
+                col: 0,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn consecutive_blocks_stay_in_one_row() {
+        // RoRaBaVaCo: the 16 blocks of a 1 KB row share vault/bank/row.
+        let m = paper_mapping();
+        let base = m.decode(PhysAddr(0x4000));
+        for blk in 0..16u64 {
+            let d = m.decode(PhysAddr(0x4000 + blk * 64));
+            assert_eq!((d.vault, d.bank, d.row), (base.vault, base.bank, base.row));
+            assert_eq!(d.col, base.col + blk as u16);
+        }
+    }
+
+    #[test]
+    fn consecutive_rows_rotate_vaults_in_paper_scheme() {
+        let m = paper_mapping();
+        let a = m.decode(PhysAddr(0));
+        let b = m.decode(PhysAddr(1024)); // next 1 KB row
+        assert_eq!(a.vault + 1, b.vault);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+    }
+
+    #[test]
+    fn varo_scheme_keeps_vault_contiguous() {
+        let m = AddressMapping::new(MappingScheme::VaRoBaCo, 32, 16, 1, 8192, 1024, 64).unwrap();
+        let slice = m.capacity_bytes() / 32;
+        for i in 0..8u64 {
+            assert_eq!(m.decode(PhysAddr(i * 4096)).vault, 0);
+            assert_eq!(m.decode(PhysAddr(slice + i * 4096)).vault, 1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let e = AddressMapping::new(MappingScheme::RoRaBaVaCo, 3, 16, 1, 8192, 1024, 64);
+        assert!(matches!(
+            e,
+            Err(ConfigError::NotPowerOfTwo {
+                field: "vaults",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn row_smaller_than_block_rejected() {
+        let e = AddressMapping::new(MappingScheme::RoRaBaVaCo, 32, 16, 1, 8192, 32, 64);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn block_base_masks_offset() {
+        assert_eq!(PhysAddr(0x1234).block_base(64), PhysAddr(0x1200));
+    }
+
+    #[test]
+    fn block_addr_reconstructs_column() {
+        let m = paper_mapping();
+        let d = m.decode(PhysAddr(0x1234_5678));
+        let a = m.block_addr(d.vault, d.row_key(), d.col);
+        assert_eq!(m.decode(a).col, d.col);
+        assert_eq!(a.0, PhysAddr(0x1234_5678).block_base(64).0);
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_roundtrip(raw in 0u64..(4u64 << 30), scheme in 0usize..3) {
+            let m = AddressMapping::new(
+                MappingScheme::ALL[scheme], 32, 16, 1, 8192, 1024, 64).unwrap();
+            let d = m.decode(PhysAddr(raw));
+            prop_assert_eq!(m.encode(&d), PhysAddr(raw));
+        }
+
+        #[test]
+        fn decoded_fields_in_range(raw in any::<u64>()) {
+            let m = AddressMapping::new(
+                MappingScheme::RoRaBaVaCo, 32, 16, 1, 8192, 1024, 64).unwrap();
+            let d = m.decode(PhysAddr(raw));
+            prop_assert!(u32::from(d.vault) < 32);
+            prop_assert!(u32::from(d.bank) < 16);
+            prop_assert!(d.row < 8192);
+            prop_assert!(u32::from(d.col) < 16);
+            prop_assert!(u32::from(d.offset) < 64);
+        }
+
+        #[test]
+        fn distinct_addresses_distinct_decodes(
+            a in 0u64..(4u64 << 30), b in 0u64..(4u64 << 30)
+        ) {
+            prop_assume!(a != b);
+            let m = paper_mapping();
+            let (da, db) = (m.decode(PhysAddr(a)), m.decode(PhysAddr(b)));
+            prop_assert_ne!((da.vault, da.bank, da.row, da.col, da.offset),
+                            (db.vault, db.bank, db.row, db.col, db.offset));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Cycle counting and clock-domain conversion.
+//!
+//! The simulator is driven at CPU-clock granularity (3 GHz in the paper's
+//! Table I). DRAM timing parameters are specified in memory-bus cycles
+//! (DDR3-1600 → 800 MHz command clock) and must be converted into CPU cycles
+//! before they are compared against the global timeline. The conversion is a
+//! rational ratio kept as `numer/denom` so that, e.g., a 3 GHz CPU over an
+//! 800 MHz DRAM clock is exactly 15/4 with no floating-point drift.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on (or a distance along) the global simulation timeline, measured
+/// in CPU cycles.
+pub type Cycle = u64;
+
+/// A clock-domain converter from a slower component clock (e.g. the DRAM
+/// command clock) into CPU cycles.
+///
+/// The ratio is `cpu_hz / component_hz`, stored as an exact fraction.
+/// Conversions round **up**: a constraint of `n` component cycles is
+/// satisfied no earlier than `ceil(n * numer / denom)` CPU cycles, which is
+/// the conservative (legal) direction for timing constraints.
+///
+/// ```
+/// use camps_types::clock::ClockDomain;
+/// // 3 GHz CPU, 800 MHz DRAM command clock (DDR3-1600): ratio 15/4.
+/// let d = ClockDomain::new(3_000_000_000, 800_000_000);
+/// assert_eq!(d.to_cpu_cycles(11), 42); // ceil(11 * 3.75) — tRCD in Table I
+/// assert_eq!(d.to_cpu_cycles(4), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    numer: u64,
+    denom: u64,
+}
+
+impl ClockDomain {
+    /// Builds a converter for a component running at `component_hz` inside a
+    /// system whose global timeline ticks at `cpu_hz`.
+    ///
+    /// # Panics
+    /// Panics if either frequency is zero or the component clock is faster
+    /// than the CPU clock (the simulator never needs that direction).
+    #[must_use]
+    pub fn new(cpu_hz: u64, component_hz: u64) -> Self {
+        assert!(
+            cpu_hz > 0 && component_hz > 0,
+            "frequencies must be nonzero"
+        );
+        assert!(
+            component_hz <= cpu_hz,
+            "component clock ({component_hz} Hz) must not exceed CPU clock ({cpu_hz} Hz)"
+        );
+        let g = gcd(cpu_hz, component_hz);
+        Self {
+            numer: cpu_hz / g,
+            denom: component_hz / g,
+        }
+    }
+
+    /// The identity domain (component clock == CPU clock).
+    #[must_use]
+    pub fn identity() -> Self {
+        Self { numer: 1, denom: 1 }
+    }
+
+    /// Converts a duration in component cycles to CPU cycles, rounding up.
+    #[must_use]
+    pub fn to_cpu_cycles(&self, component_cycles: u64) -> Cycle {
+        // ceil(a*n / d) without overflow for realistic magnitudes.
+        let a = u128::from(component_cycles) * u128::from(self.numer);
+        a.div_ceil(u128::from(self.denom)) as Cycle
+    }
+
+    /// The exact ratio as `(numerator, denominator)` in lowest terms.
+    #[must_use]
+    pub fn ratio(&self) -> (u64, u64) {
+        (self.numer, self.denom)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Converts a number of bytes moved over a serial lane group into the CPU
+/// cycles needed to serialize it.
+///
+/// `lane_gbps` is the per-lane line rate in gigabits per second; `lanes` is
+/// the number of lanes moving data in one direction. The result rounds up.
+///
+/// ```
+/// use camps_types::clock::serialization_cycles;
+/// // One 16-byte FLIT over 16 lanes at 12.5 Gbps each, 3 GHz CPU:
+/// // 128 bits / 200 Gbps = 0.64 ns = 1.92 CPU cycles → 2.
+/// assert_eq!(serialization_cycles(16, 16, 12.5, 3_000_000_000), 2);
+/// ```
+#[must_use]
+pub fn serialization_cycles(bytes: u64, lanes: u32, lane_gbps: f64, cpu_hz: u64) -> Cycle {
+    assert!(lanes > 0 && lane_gbps > 0.0, "link must have bandwidth");
+    let bits = bytes as f64 * 8.0;
+    let seconds = bits / (lanes as f64 * lane_gbps * 1e9);
+    (seconds * cpu_hz as f64).ceil() as Cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_reduced() {
+        let d = ClockDomain::new(3_000_000_000, 800_000_000);
+        assert_eq!(d.ratio(), (15, 4));
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let d = ClockDomain::identity();
+        for n in [0, 1, 7, 1000] {
+            assert_eq!(d.to_cpu_cycles(n), n);
+        }
+    }
+
+    #[test]
+    fn conversion_rounds_up() {
+        let d = ClockDomain::new(3_000_000_000, 800_000_000);
+        assert_eq!(d.to_cpu_cycles(0), 0);
+        assert_eq!(d.to_cpu_cycles(1), 4); // 3.75 → 4
+        assert_eq!(d.to_cpu_cycles(2), 8); // 7.5 → 8
+        assert_eq!(d.to_cpu_cycles(4), 15); // exact
+    }
+
+    #[test]
+    fn table1_timings_convert() {
+        // tRCD = tRP = tCL = 11 DRAM cycles per Table I.
+        let d = ClockDomain::new(3_000_000_000, 800_000_000);
+        assert_eq!(d.to_cpu_cycles(11), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn component_faster_than_cpu_panics() {
+        let _ = ClockDomain::new(1_000, 2_000);
+    }
+
+    #[test]
+    fn flit_serialization_matches_hand_math() {
+        // 5 FLITs (80 B read response) over one 16-lane 12.5 Gbps link:
+        // 640 bits / 200 Gbps = 3.2 ns = 9.6 cycles → 10.
+        assert_eq!(serialization_cycles(80, 16, 12.5, 3_000_000_000), 10);
+    }
+}

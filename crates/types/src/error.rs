@@ -1,0 +1,59 @@
+//! Configuration validation errors.
+
+use std::fmt;
+
+/// An error raised while validating a simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A geometry field must be a nonzero power of two.
+    NotPowerOfTwo {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A field failed a structural constraint.
+    Invalid {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo { field, value } => {
+                write!(
+                    f,
+                    "config field `{field}` must be a nonzero power of two, got {value}"
+                )
+            }
+            Self::Invalid { field, reason } => {
+                write!(f, "config field `{field}` invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = ConfigError::NotPowerOfTwo {
+            field: "vaults",
+            value: 3,
+        };
+        assert!(e.to_string().contains("vaults"));
+        let e = ConfigError::Invalid {
+            field: "rob",
+            reason: "zero".into(),
+        };
+        assert!(e.to_string().contains("rob"));
+    }
+}

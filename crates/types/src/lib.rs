@@ -1,0 +1,34 @@
+//! Common types shared by every crate of the CAMPS simulator.
+//!
+//! This crate defines the vocabulary of the simulated machine:
+//!
+//! * [`clock`] — cycle counters and the CPU/DRAM clock-domain conversion,
+//! * [`addr`] — physical addresses and the HMC address mapping
+//!   (`RoRaBaVaCo` in the paper, Table I),
+//! * [`request`] — memory requests/responses flowing between the cores and
+//!   the cube,
+//! * [`config`] — the full system configuration, whose defaults reproduce
+//!   Table I of the paper,
+//! * [`error`] — configuration validation errors.
+//!
+//! Nothing in here simulates anything; these are plain data types with
+//! conversion helpers so the substrate crates (`camps-dram`, `camps-link`,
+//! `camps-vault`, …) can interoperate without depending on each other.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod request;
+
+pub use addr::{AddressMapping, DecodedAddr, MappingScheme, PhysAddr, RowKey};
+pub use clock::{ClockDomain, Cycle};
+pub use config::{
+    CacheLevelConfig, CoreSidePrefetchConfig, CpuConfig, DramTimingConfig, EnergyConfig,
+    HmcGeometry, LinkConfig, PagePolicy, PrefetchBufferConfig, SchedulerKind, SystemConfig,
+    VaultConfig,
+};
+pub use error::ConfigError;
+pub use request::{AccessKind, CoreId, MemRequest, MemResponse, RequestId, ServiceSource};

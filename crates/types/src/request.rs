@@ -1,0 +1,164 @@
+//! Memory requests and responses exchanged between the cache hierarchy and
+//! the HMC.
+
+use crate::addr::PhysAddr;
+use crate::clock::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique identifier of an in-flight memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// Identifier of a processor core, `0..cores`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CoreId(pub u8);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Whether a memory operation reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A demand load (or a cache-line fill triggered by one).
+    Read,
+    /// A store / dirty writeback.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Read`].
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, Self::Read)
+    }
+}
+
+/// A demand request traveling from the host memory controller into the cube.
+///
+/// Requests operate at cache-block (64 B) granularity; the vault controller
+/// expands prefetches to full rows internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique id used to match the eventual response.
+    pub id: RequestId,
+    /// Block-aligned physical address.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Originating core (for per-core statistics and fairness accounting).
+    pub core: CoreId,
+    /// CPU cycle at which the request entered the memory system (left the
+    /// last-level cache). Latency statistics are measured from here.
+    pub created_at: Cycle,
+}
+
+/// Where, inside the cube, a request was ultimately served from.
+///
+/// This drives the row-buffer conflict statistics of Figure 6 and the
+/// AMAT breakdown of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceSource {
+    /// Hit in the per-vault prefetch buffer (22-cycle latency in Table I).
+    PrefetchBuffer,
+    /// The bank's row buffer already held the needed row.
+    RowBufferHit,
+    /// The bank was idle/closed; the row had to be activated (row miss).
+    RowBufferMiss,
+    /// A *different* row was open; precharge + activate were needed
+    /// (row-buffer conflict — the event CAMPS is designed to reduce).
+    RowBufferConflict,
+}
+
+impl ServiceSource {
+    /// True if the access required opening a row that was displaced by
+    /// another row (a conflict).
+    #[must_use]
+    pub fn is_conflict(self) -> bool {
+        matches!(self, Self::RowBufferConflict)
+    }
+}
+
+/// The completion notification for a [`MemRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemResponse {
+    /// Id of the request this response answers.
+    pub id: RequestId,
+    /// The request's block address (echoed for cache fills).
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Originating core.
+    pub core: CoreId,
+    /// CPU cycle the request entered the memory system.
+    pub created_at: Cycle,
+    /// CPU cycle the response is delivered back to the host controller.
+    pub completed_at: Cycle,
+    /// Where the data came from inside the cube.
+    pub source: ServiceSource,
+    /// True for unsolicited cache-push packets (prefetched blocks pushed
+    /// to the LLC when `push_to_llc` is enabled): they fill the shared
+    /// cache and wake no one.
+    #[serde(default)]
+    pub push: bool,
+}
+
+impl MemResponse {
+    /// Round-trip main-memory latency in CPU cycles.
+    #[must_use]
+    pub fn latency(&self) -> Cycle {
+        self.completed_at.saturating_sub(self.created_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_completed_minus_created() {
+        let r = MemResponse {
+            id: RequestId(1),
+            addr: PhysAddr(0),
+            kind: AccessKind::Read,
+            core: CoreId(0),
+            created_at: 100,
+            completed_at: 342,
+            source: ServiceSource::RowBufferHit,
+            push: false,
+        };
+        assert_eq!(r.latency(), 242);
+    }
+
+    #[test]
+    fn latency_saturates() {
+        let r = MemResponse {
+            id: RequestId(1),
+            addr: PhysAddr(0),
+            kind: AccessKind::Write,
+            core: CoreId(0),
+            created_at: 10,
+            completed_at: 5,
+            source: ServiceSource::PrefetchBuffer,
+            push: false,
+        };
+        assert_eq!(r.latency(), 0);
+    }
+
+    #[test]
+    fn conflict_classification() {
+        assert!(ServiceSource::RowBufferConflict.is_conflict());
+        assert!(!ServiceSource::RowBufferHit.is_conflict());
+        assert!(!ServiceSource::PrefetchBuffer.is_conflict());
+        assert!(!ServiceSource::RowBufferMiss.is_conflict());
+    }
+
+    #[test]
+    fn access_kind_helpers() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Write.is_read());
+    }
+}

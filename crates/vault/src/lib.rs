@@ -1,0 +1,30 @@
+//! The HMC vault controller.
+//!
+//! Each of the 32 vaults owns 16 banks, a read queue and a write queue of
+//! 32 entries each (Table I), an FR-FCFS (or FCFS) command scheduler, an
+//! open- or closed-page policy, and — the paper's contribution — a
+//! prefetch engine: the prefetch buffer plus one of the evaluated
+//! [`camps_prefetch::SchemeKind`]s.
+//!
+//! Request life cycle inside a vault:
+//!
+//! 1. [`controller::VaultController::try_enqueue`] probes the prefetch
+//!    buffer ("the vault controller will first check the prefetch buffer",
+//!    §3.1). A hit answers in the 22-cycle buffer latency; a miss enters
+//!    the read/write queue (backpressure when full).
+//! 2. Every [`controller::VaultController::tick`], the scheduler issues at
+//!    most one DRAM command (PRE/ACT/RD/WR), starts pending row fetches
+//!    (whole-row transfers into the buffer over the TSVs), advances dirty
+//!    writebacks, and collects due responses.
+//! 3. Row-buffer events are fed to the prefetch scheme, whose
+//!    [`camps_prefetch::PfAction`]s create row-fetch jobs.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod queue;
+pub mod stats;
+
+pub use controller::VaultController;
+pub use queue::Queued;
+pub use stats::VaultStats;

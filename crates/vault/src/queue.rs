@@ -1,0 +1,104 @@
+//! Vault request queues.
+
+use camps_dram::bank::AccessCategory;
+use camps_types::addr::DecodedAddr;
+use camps_types::clock::Cycle;
+use camps_types::request::MemRequest;
+
+/// A demand request waiting in a vault's read or write queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queued {
+    /// The request itself.
+    pub req: MemRequest,
+    /// Its decoded vault-local coordinates.
+    pub decoded: DecodedAddr,
+    /// Cycle it entered this queue (FCFS age; FR-FCFS tie-break).
+    pub arrived: Cycle,
+    /// Row-buffer outcome, recorded when the scheduler first touches the
+    /// request (the paper's hit/miss/conflict classification, Figure 6).
+    pub category: Option<AccessCategory>,
+    /// True once an ACT has been issued on behalf of this request.
+    pub activated: bool,
+}
+
+impl Queued {
+    /// Wraps a freshly arrived request.
+    #[must_use]
+    pub fn new(req: MemRequest, decoded: DecodedAddr, arrived: Cycle) -> Self {
+        Self {
+            req,
+            decoded,
+            arrived,
+            category: None,
+            activated: false,
+        }
+    }
+
+    /// Bank this request targets.
+    #[must_use]
+    pub fn bank(&self) -> usize {
+        usize::from(self.decoded.bank)
+    }
+
+    /// Row this request targets.
+    #[must_use]
+    pub fn row(&self) -> u32 {
+        self.decoded.row
+    }
+}
+
+/// Counts queue entries (other than `except`) that target `bank`/`row` —
+/// the read-queue reuse signal BASE-HIT keys on.
+#[must_use]
+pub fn queued_same_row(queue: &[Queued], bank: u16, row: u32, except: Option<usize>) -> u32 {
+    queue
+        .iter()
+        .enumerate()
+        .filter(|(i, q)| Some(*i) != except && q.decoded.bank == bank && q.decoded.row == row)
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camps_types::addr::PhysAddr;
+    use camps_types::request::{AccessKind, CoreId, RequestId};
+
+    fn q(bank: u16, row: u32, arrived: Cycle) -> Queued {
+        Queued::new(
+            MemRequest {
+                id: RequestId(arrived),
+                addr: PhysAddr(0),
+                kind: AccessKind::Read,
+                core: CoreId(0),
+                created_at: arrived,
+            },
+            DecodedAddr {
+                vault: 0,
+                bank,
+                row,
+                col: 0,
+                offset: 0,
+            },
+            arrived,
+        )
+    }
+
+    #[test]
+    fn fresh_entry_is_unclassified() {
+        let e = q(3, 9, 5);
+        assert_eq!(e.category, None);
+        assert!(!e.activated);
+        assert_eq!(e.bank(), 3);
+        assert_eq!(e.row(), 9);
+    }
+
+    #[test]
+    fn queued_same_row_counts_matches_only() {
+        let queue = vec![q(0, 1, 0), q(0, 1, 1), q(0, 2, 2), q(1, 1, 3)];
+        assert_eq!(queued_same_row(&queue, 0, 1, None), 2);
+        assert_eq!(queued_same_row(&queue, 0, 1, Some(0)), 1);
+        assert_eq!(queued_same_row(&queue, 0, 9, None), 0);
+        assert_eq!(queued_same_row(&queue, 1, 1, Some(3)), 0);
+    }
+}

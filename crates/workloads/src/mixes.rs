@@ -1,0 +1,223 @@
+//! The twelve eight-core multiprogrammed workloads of Table II.
+
+use crate::generator::SpecTrace;
+use crate::spec::profile_for;
+use camps_cpu::trace::TraceSource;
+use serde::{Deserialize, Serialize};
+
+/// Which intensity group a mix belongs to (Figure 5's x-axis grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixClass {
+    /// Four HM benchmarks, two copies each.
+    HighMemory,
+    /// Four LM benchmarks, two copies each.
+    LowMemory,
+    /// Mixed HM + LM.
+    Mixed,
+}
+
+/// One Table II row: a named eight-core benchmark assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Workload id (HM1…MX4).
+    pub id: &'static str,
+    /// Intensity group.
+    pub class: MixClass,
+    /// Benchmark per core, exactly as printed in Table II.
+    pub benchmarks: [&'static str; 8],
+}
+
+/// Table II, verbatim.
+pub const ALL_MIXES: [Mix; 12] = [
+    Mix {
+        id: "HM1",
+        class: MixClass::HighMemory,
+        benchmarks: [
+            "bwaves", "gems", "gcc", "lbm", "bwaves", "gcc", "lbm", "gems",
+        ],
+    },
+    Mix {
+        id: "HM2",
+        class: MixClass::HighMemory,
+        benchmarks: [
+            "milc", "gems", "sphinx", "omnetpp", "sphinx", "milc", "omnetpp", "gems",
+        ],
+    },
+    Mix {
+        id: "HM3",
+        class: MixClass::HighMemory,
+        benchmarks: ["gcc", "mcf", "lbm", "milc", "mcf", "gcc", "milc", "lbm"],
+    },
+    Mix {
+        id: "HM4",
+        class: MixClass::HighMemory,
+        benchmarks: [
+            "sphinx", "gcc", "lbm", "bwaves", "sphinx", "bwaves", "lbm", "gcc",
+        ],
+    },
+    Mix {
+        id: "LM1",
+        class: MixClass::LowMemory,
+        benchmarks: [
+            "cactus", "bzip2", "astar", "wrf", "wrf", "bzip2", "cactus", "astar",
+        ],
+    },
+    Mix {
+        id: "LM2",
+        class: MixClass::LowMemory,
+        benchmarks: [
+            "tonto", "zeusmp", "h264ref", "astar", "zeusmp", "h264ref", "astar", "tonto",
+        ],
+    },
+    Mix {
+        id: "LM3",
+        class: MixClass::LowMemory,
+        benchmarks: [
+            "bzip2", "zeusmp", "cactus", "tonto", "cactus", "zeusmp", "bzip2", "tonto",
+        ],
+    },
+    Mix {
+        id: "LM4",
+        class: MixClass::LowMemory,
+        benchmarks: [
+            "astar", "tonto", "bzip2", "h264ref", "tonto", "astar", "bzip2", "h264ref",
+        ],
+    },
+    Mix {
+        id: "MX1",
+        class: MixClass::Mixed,
+        benchmarks: [
+            "bwaves", "gcc", "cactus", "wrf", "cactus", "gcc", "wrf", "bwaves",
+        ],
+    },
+    Mix {
+        id: "MX2",
+        class: MixClass::Mixed,
+        benchmarks: [
+            "gems", "sphinx", "tonto", "h264ref", "sphinx", "gems", "h264ref", "tonto",
+        ],
+    },
+    Mix {
+        id: "MX3",
+        class: MixClass::Mixed,
+        benchmarks: ["milc", "lbm", "wrf", "bzip2", "lbm", "bzip2", "milc", "wrf"],
+    },
+    Mix {
+        id: "MX4",
+        class: MixClass::Mixed,
+        benchmarks: [
+            "gcc", "bwaves", "bzip2", "astar", "bwaves", "gcc", "bzip2", "astar",
+        ],
+    },
+];
+
+impl Mix {
+    /// Looks a mix up by id (`"HM1"` … `"MX4"`).
+    #[must_use]
+    pub fn by_id(id: &str) -> Option<&'static Mix> {
+        ALL_MIXES.iter().find(|m| m.id == id)
+    }
+
+    /// Builds the eight per-core trace generators for this mix.
+    ///
+    /// Each core is confined to its own slice of the `capacity`-byte
+    /// physical space (multiprogrammed workloads share nothing), and the
+    /// two copies of each benchmark get different RNG streams via the core
+    /// index.
+    ///
+    /// # Panics
+    /// Panics if `capacity / 8` cannot hold the largest working set.
+    #[must_use]
+    pub fn build_traces(&self, capacity: u64, seed: u64) -> Vec<Box<dyn TraceSource>> {
+        let slice = capacity / 8;
+        self.benchmarks
+            .iter()
+            .enumerate()
+            .map(|(core, name)| {
+                let profile = profile_for(name);
+                let base = core as u64 * slice;
+                Box::new(SpecTrace::new(
+                    profile,
+                    base,
+                    slice,
+                    seed ^ ((core as u64) << 32),
+                )) as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::MemClass;
+    use crate::spec::profile_for;
+
+    #[test]
+    fn twelve_mixes_with_four_per_class() {
+        assert_eq!(ALL_MIXES.len(), 12);
+        for class in [MixClass::HighMemory, MixClass::LowMemory, MixClass::Mixed] {
+            assert_eq!(ALL_MIXES.iter().filter(|m| m.class == class).count(), 4);
+        }
+    }
+
+    #[test]
+    fn each_mix_is_four_benchmarks_twice() {
+        for mix in &ALL_MIXES {
+            let mut names: Vec<_> = mix.benchmarks.to_vec();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 4, "{}: must be 4 distinct benchmarks", mix.id);
+            for n in names {
+                let copies = mix.benchmarks.iter().filter(|&&b| b == n).count();
+                assert_eq!(copies, 2, "{}: {n} must appear exactly twice", mix.id);
+            }
+        }
+    }
+
+    #[test]
+    fn class_composition_matches_table2() {
+        for mix in &ALL_MIXES {
+            let highs = mix
+                .benchmarks
+                .iter()
+                .filter(|b| profile_for(b).class == MemClass::High)
+                .count();
+            match mix.class {
+                MixClass::HighMemory => assert_eq!(highs, 8, "{}", mix.id),
+                MixClass::LowMemory => assert_eq!(highs, 0, "{}", mix.id),
+                MixClass::Mixed => assert_eq!(highs, 4, "{}: MX mixes are half HM", mix.id),
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(Mix::by_id("HM3").unwrap().benchmarks[1], "mcf");
+        assert!(Mix::by_id("ZZ9").is_none());
+    }
+
+    #[test]
+    fn traces_are_sliced_and_named() {
+        let mix = Mix::by_id("MX1").unwrap();
+        let traces = mix.build_traces(4 << 30, 7);
+        assert_eq!(traces.len(), 8);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.name(), mix.benchmarks[i]);
+        }
+    }
+
+    #[test]
+    fn duplicate_benchmarks_get_distinct_streams() {
+        let mix = Mix::by_id("HM1").unwrap();
+        let mut traces = mix.build_traces(4 << 30, 7);
+        // Cores 0 and 4 both run bwaves but in different slices with
+        // different seeds.
+        let a = traces[0].next_op();
+        let b = traces[4].next_op();
+        let (addr_a, _) = a.mem.unwrap();
+        let (addr_b, _) = b.mem.unwrap();
+        assert!(addr_a.0 < (4u64 << 30) / 8);
+        assert!(addr_b.0 >= 4 * ((4u64 << 30) / 8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Benchmark profiles: the tunable knobs of the synthetic generators.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's memory-intensity classes (§4.1): HM has MPKI ≥ 20, LM has
+/// 1 ≤ MPKI < 20, measured at the last-level cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemClass {
+    /// High memory intensity.
+    High,
+    /// Low memory intensity.
+    Low,
+}
+
+/// Relative weights of the four access-pattern engines. They need not sum
+/// to one; the generator normalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternWeights {
+    /// Sequential streams advancing in small (8 B) steps — stencil /
+    /// array-sweep codes (`lbm`, `bwaves`). High spatial locality within
+    /// cache blocks and DRAM rows, no temporal reuse.
+    pub stream: f64,
+    /// Strided sweeps jumping whole blocks — multidimensional arrays
+    /// (`GemsFDTD`, `zeusmp`). Row locality without block locality.
+    pub stride: f64,
+    /// Uniform random block touches over the working set — pointer chasing
+    /// (`mcf`, `omnetpp`). No locality at all.
+    pub random: f64,
+    /// Touches within a small hot set — the cache-resident portion every
+    /// real program has. Generates on-chip hits, not memory traffic.
+    pub reuse: f64,
+    /// Random touches inside a medium-size *region* that drifts slowly —
+    /// graph neighborhoods, hash tables, B-tree levels (`mcf`, `omnetpp`,
+    /// `gcc`). Rows are revisited about once per activation and keep
+    /// getting displaced by competing rows: the row-level temporal reuse
+    /// that is invisible to per-open-row hit counters but exactly what
+    /// the CAMPS Conflict Table catches.
+    pub region: f64,
+}
+
+impl PatternWeights {
+    /// Sum of the weights (for normalization).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.stream + self.stride + self.random + self.reuse + self.region
+    }
+}
+
+/// The full description of one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchProfile {
+    /// SPEC benchmark this profile models.
+    pub name: &'static str,
+    /// Fraction of instructions that are memory operations.
+    pub mem_fraction: f64,
+    /// Of the memory operations, the fraction that are stores.
+    pub store_fraction: f64,
+    /// Access-pattern mix.
+    pub weights: PatternWeights,
+    /// Concurrent sequential streams (MLP of the streaming engine).
+    pub streams: u32,
+    /// Stride of the strided engine, in 64 B blocks.
+    pub stride_blocks: u32,
+    /// Total working set in bytes (vs. the 16 MB shared L3).
+    pub working_set: u64,
+    /// Hot-set size in bytes for the reuse engine (should fit in L1/L2).
+    pub hot_set: u64,
+    /// Region size in bytes for the region engine (larger than a core's
+    /// L3 share, far smaller than the working set).
+    pub region_bytes: u64,
+    /// Accesses spent in a region before it drifts elsewhere.
+    pub region_dwell: u32,
+    /// Consecutive accesses served from one stream before switching to
+    /// another — real array sweeps touch a DRAM row's lines densely, so a
+    /// fetched row is reused while still buffer-resident. 1 = fully
+    /// interleaved (maximally thrashy), larger = burstier.
+    pub stream_burst: u32,
+    /// Expected intensity class, used by validation tests.
+    pub class: MemClass,
+}
+
+impl BenchProfile {
+    /// Sanity-checks the profile's parameters.
+    ///
+    /// # Panics
+    /// Panics on degenerate values (zero working set, weights all zero,
+    /// fractions outside `[0, 1]`).
+    pub fn validate(&self) {
+        assert!(
+            self.mem_fraction > 0.0 && self.mem_fraction < 1.0,
+            "{}: mem_fraction must be in (0,1)",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.store_fraction),
+            "{}: store_fraction must be in [0,1]",
+            self.name
+        );
+        assert!(self.weights.total() > 0.0, "{}: needs a pattern", self.name);
+        assert!(
+            self.working_set >= 1 << 20,
+            "{}: working set too small",
+            self.name
+        );
+        assert!(self.hot_set >= 4096, "{}: hot set too small", self.name);
+        assert!(self.streams >= 1, "{}: needs a stream", self.name);
+        assert!(
+            self.stride_blocks >= 1,
+            "{}: stride must be nonzero",
+            self.name
+        );
+        assert!(
+            self.region_bytes >= 4096 && self.region_bytes <= self.working_set,
+            "{}: region must fit the working set",
+            self.name
+        );
+        assert!(
+            self.region_dwell >= 1,
+            "{}: region dwell must be nonzero",
+            self.name
+        );
+        assert!(
+            self.stream_burst >= 1,
+            "{}: stream burst must be nonzero",
+            self.name
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BenchProfile {
+        BenchProfile {
+            name: "test",
+            mem_fraction: 0.3,
+            store_fraction: 0.3,
+            weights: PatternWeights {
+                stream: 1.0,
+                stride: 0.0,
+                random: 0.0,
+                reuse: 1.0,
+                region: 0.0,
+            },
+            streams: 4,
+            stride_blocks: 4,
+            working_set: 64 << 20,
+            hot_set: 16 << 10,
+            region_bytes: 2 << 20,
+            region_dwell: 8192,
+            stream_burst: 128,
+            class: MemClass::High,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        base().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_fraction")]
+    fn zero_mem_fraction_rejected() {
+        let mut p = base();
+        p.mem_fraction = 0.0;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a pattern")]
+    fn zero_weights_rejected() {
+        let mut p = base();
+        p.weights = PatternWeights {
+            stream: 0.0,
+            stride: 0.0,
+            random: 0.0,
+            reuse: 0.0,
+            region: 0.0,
+        };
+        p.validate();
+    }
+
+    #[test]
+    fn weight_total() {
+        let w = PatternWeights {
+            stream: 1.0,
+            stride: 2.0,
+            random: 3.0,
+            reuse: 4.0,
+            region: 0.5,
+        };
+        assert_eq!(w.total(), 10.5);
+    }
+}

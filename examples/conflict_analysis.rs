@@ -1,0 +1,92 @@
+//! Row-buffer conflict anatomy: drives a deliberately conflict-prone
+//! two-core ping-pong through one vault and shows, step by step, how the
+//! CAMPS Conflict Table turns repeat offenders into prefetch-buffer hits.
+//!
+//! This is the §3.1 mechanism in isolation — the motivating example of
+//! the paper, runnable.
+//!
+//! ```sh
+//! cargo run --release --example conflict_analysis
+//! ```
+
+use camps_sim::camps_prefetch::SchemeKind;
+use camps_sim::camps_types::addr::DecodedAddr;
+use camps_sim::camps_types::config::SystemConfig;
+use camps_sim::camps_types::request::{AccessKind, CoreId, MemRequest, RequestId};
+use camps_sim::camps_vault::VaultController;
+
+/// Sends one read for (bank, row, col) through the vault and reports how
+/// it was served.
+fn one_read(
+    v: &mut VaultController,
+    cfg: &SystemConfig,
+    id: u64,
+    bank: u16,
+    row: u32,
+    col: u16,
+    now: &mut u64,
+) -> &'static str {
+    let m = cfg.hmc.address_mapping().unwrap();
+    let d = DecodedAddr {
+        vault: 0,
+        bank,
+        row,
+        col,
+        offset: 0,
+    };
+    let req = MemRequest {
+        id: RequestId(id),
+        addr: m.encode(&d),
+        kind: AccessKind::Read,
+        core: CoreId(0),
+        created_at: *now,
+    };
+    assert!(v.try_enqueue(req, d, *now));
+    let mut out = Vec::new();
+    while out.is_empty() {
+        *now += 1;
+        v.tick(*now, &mut out);
+    }
+    // Let background work (row fetch + precharge) settle.
+    for _ in 0..2_000 {
+        *now += 1;
+        v.tick(*now, &mut out);
+    }
+    use camps_sim::camps_types::request::ServiceSource as S;
+    match out[0].source {
+        S::PrefetchBuffer => "prefetch buffer (22-cycle hit!)",
+        S::RowBufferHit => "row-buffer hit",
+        S::RowBufferMiss => "row miss (activate)",
+        S::RowBufferConflict => "row-buffer CONFLICT (precharge + activate)",
+    }
+}
+
+fn main() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.hmc.vaults = 4; // decode convenience; we drive vault 0 directly
+    let mut now = 0u64;
+
+    for scheme in [SchemeKind::Nopf, SchemeKind::Camps] {
+        println!("==== scheme: {} ====", scheme.name());
+        let mut v = VaultController::new(0, &cfg, scheme);
+        // Two "threads" ping-pong rows 100 and 200 of bank 0 — the exact
+        // pathology the Conflict Table profiles. With the default CT
+        // evidence of 3, a row is fetched on its second *return* (third
+        // activation), once it has proven it keeps bouncing.
+        let pattern = [100u32, 200, 100, 200, 100, 200, 100, 200];
+        for (i, &row) in pattern.iter().enumerate() {
+            let served = one_read(&mut v, &cfg, i as u64, 0, row, (i % 16) as u16, &mut now);
+            println!("  access {} → row {row}: {served}", i + 1);
+        }
+        let s = v.stats();
+        println!(
+            "  totals: {} conflicts, {} prefetches, {} buffer hits\n",
+            s.row_conflicts, s.prefetches, s.buffer_hits
+        );
+    }
+    println!("Under NOPF every alternation pays precharge+activate forever.");
+    println!("Under CAMPS a bouncing row accumulates evidence in the Conflict");
+    println!("Table; once it has proven conflict-prone it is streamed to the");
+    println!("prefetch buffer and every later access is a 22-cycle buffer hit");
+    println!("— the conflicts stop.");
+}
