@@ -96,7 +96,7 @@ fn bench_vault_tick(c: &mut Criterion) {
     let cfg = SystemConfig::paper_default();
     let m = cfg.hmc.address_mapping().unwrap();
     c.bench_function("vault/loaded_tick", |b| {
-        let mut v = VaultController::new(0, &cfg, SchemeKind::CampsMod);
+        let mut v = VaultController::new(0, &cfg, SchemeKind::CampsMod).expect("valid config");
         let mut now = 0u64;
         let mut id = 0u64;
         let mut out = Vec::new();
@@ -139,7 +139,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("mini_run_hm1_campsmod", |b| {
         b.iter(|| {
             let mix = Mix::by_id("HM1").unwrap();
-            black_box(run_mix(&cfg, mix, SchemeKind::CampsMod, &len, 42))
+            black_box(run_mix(&cfg, mix, SchemeKind::CampsMod, &len, 42).expect("bench run"))
         });
     });
     group.finish();

@@ -17,7 +17,12 @@ use camps_workloads::ALL_MIXES;
 /// Measures a benchmark's solo L3 MPKI functionally.
 fn mpki(name: &str) -> f64 {
     let cfg = SystemConfig::paper_default();
-    let mut t = SpecTrace::new(profile_for(name), 0, 512 << 20, 1234);
+    let mut t = SpecTrace::new(
+        profile_for(name).expect("known benchmark"),
+        0,
+        512 << 20,
+        1234,
+    );
     let mut h = CacheHierarchy::new(&cfg);
     let mut wb = Vec::new();
     let mut drive = |budget: u64, count: bool, misses: &mut u64| {
@@ -59,7 +64,7 @@ fn main() {
     println!("{:>10}  {:>8}  {:>6}", "benchmark", "MPKI", "class");
     for name in BENCHMARKS {
         let m = mpki(name);
-        let class = profile_for(name).class;
+        let class = profile_for(name).expect("known benchmark").class;
         let label = match class {
             MemClass::High => "HM",
             MemClass::Low => "LM",

@@ -41,7 +41,7 @@ fn main() {
         .par_iter()
         .map(|&(mix_id, scheme)| {
             let mix = Mix::by_id(mix_id).expect("known mix id");
-            run_mix(&cfg, mix, scheme, &len, 0xCA3B5)
+            run_mix(&cfg, mix, scheme, &len, 0xCA3B5).expect("calibration run")
         })
         .collect();
 

@@ -30,11 +30,12 @@ fn main() {
         camps_workloads::Mix::by_id(mix_id)
             .expect("known mix id")
             .build_traces(capacity, 0xCA3B5)
+            .expect("known benchmark names")
     } else {
         (0..8)
             .map(|core| {
                 Box::new(SpecTrace::new(
-                    profile_for(bench),
+                    profile_for(bench).expect("known benchmark name"),
                     core as u64 * slice,
                     slice,
                     99 ^ (core as u64),
@@ -42,9 +43,9 @@ fn main() {
             })
             .collect()
     };
-    let mut sys = System::new(&cfg, scheme, traces);
+    let mut sys = System::new(&cfg, scheme, traces).expect("paper-default config");
     sys.warmup(instrs);
-    let r = sys.run(instrs, 50_000_000, "probe");
+    let r = sys.run(instrs, 50_000_000, "probe").expect("probe run");
     println!("bench={bench} scheme={} instrs={instrs}", scheme.name());
     println!("cycles={} geomean_ipc={:.3}", r.cycles, r.geomean_ipc());
     let total_instr = instrs * 8;

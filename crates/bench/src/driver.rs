@@ -75,7 +75,8 @@ pub fn figure_results() -> Vec<RunResult> {
         &SchemeKind::ALL,
         &bench_length(),
         FIGURE_SEED,
-    );
+    )
+    .expect("figure matrix run (bench-only: fail loudly)");
     let body = serde_json::to_string(&results).expect("serialize results");
     fs::write(&cache, body).expect("write result cache");
     eprintln!("[cache] wrote {}", cache.display());
@@ -117,7 +118,9 @@ pub fn ablation_sweep(
                 .iter()
                 .map(|id| {
                     let mix = Mix::by_id(id).expect("known mix");
-                    camps::experiment::run_mix(cfg, mix, *scheme, &len, FIGURE_SEED).geomean_ipc()
+                    camps::experiment::run_mix(cfg, mix, *scheme, &len, FIGURE_SEED)
+                        .expect("ablation run (bench-only: fail loudly)")
+                        .geomean_ipc()
                 })
                 .collect();
             (label.clone(), ipcs)

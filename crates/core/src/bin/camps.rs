@@ -84,13 +84,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn emit(results: &[RunResult], json: bool) {
+fn emit(results: &[RunResult], json: bool) -> ExitCode {
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(results).expect("serializable")
-        );
-        return;
+        match serde_json::to_string_pretty(results) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("camps: cannot serialize results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     for r in results {
         println!("{}", r.summary());
@@ -106,6 +109,7 @@ fn emit(results: &[RunResult], json: bool) {
             }
         }
     }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -132,9 +136,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let result = run_mix(&cfg, mix, scheme, &opts.scale, opts.seed);
-            emit(&[result], opts.json);
-            ExitCode::SUCCESS
+            let result = match run_mix(&cfg, mix, scheme, &opts.scale, opts.seed) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("camps: run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            emit(&[result], opts.json)
         }
         Some("sweep") => {
             let opts = match parse_options(&args[1..]) {
@@ -145,9 +154,14 @@ fn main() -> ExitCode {
                 }
             };
             let mixes: Vec<Mix> = opts.mixes.iter().map(|m| **m).collect();
-            let results = run_matrix(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed);
-            emit(&results, opts.json);
-            ExitCode::SUCCESS
+            let results = match run_matrix(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("camps: sweep failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            emit(&results, opts.json)
         }
         Some("list") => {
             println!("mixes (Table II):");
@@ -157,13 +171,16 @@ fn main() -> ExitCode {
             println!("\nschemes: nopf base basehit mmd camps campsmod");
             ExitCode::SUCCESS
         }
-        Some("config") => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&cfg).expect("serializable")
-            );
-            ExitCode::SUCCESS
-        }
+        Some("config") => match serde_json::to_string_pretty(&cfg) {
+            Ok(s) => {
+                println!("{s}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("camps: cannot serialize config: {e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
             eprintln!(
                 "usage: camps <run|sweep|list|config> …\n\

@@ -8,6 +8,7 @@ use crate::system::System;
 use camps_prefetch::SchemeKind;
 use camps_types::clock::Cycle;
 use camps_types::config::SystemConfig;
+use camps_types::error::SimError;
 use camps_workloads::Mix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -58,35 +59,38 @@ impl RunLength {
 }
 
 /// Runs one Table II mix under one scheme.
-#[must_use]
+///
+/// # Errors
+/// Propagates configuration, setup, integrity, and watchdog errors from
+/// [`System`]; an invalid address mapping surfaces as
+/// [`SimError::Config`].
 pub fn run_mix(
     cfg: &SystemConfig,
     mix: &Mix,
     scheme: SchemeKind,
     len: &RunLength,
     seed: u64,
-) -> RunResult {
-    let capacity = cfg
-        .hmc
-        .address_mapping()
-        .expect("valid config")
-        .capacity_bytes();
-    let traces = mix.build_traces(capacity, seed);
-    let mut sys = System::new(cfg, scheme, traces);
+) -> Result<RunResult, SimError> {
+    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let traces = mix.build_traces(capacity, seed)?;
+    let mut sys = System::new(cfg, scheme, traces)?;
     sys.warmup(len.warmup_instructions);
     sys.run(len.instructions, len.max_cycles, mix.id)
 }
 
 /// Runs the full cross product `mixes × schemes` in parallel (rayon).
 /// Results come back grouped by mix, schemes in the given order.
-#[must_use]
+///
+/// # Errors
+/// Returns the first (job-order) error among the runs; completed runs
+/// are discarded when any job fails.
 pub fn run_matrix(
     cfg: &SystemConfig,
     mixes: &[Mix],
     schemes: &[SchemeKind],
     len: &RunLength,
     seed: u64,
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>, SimError> {
     let jobs: Vec<(usize, &Mix, SchemeKind)> = mixes
         .iter()
         .flat_map(|m| schemes.iter().map(move |&s| (m, s)))
@@ -95,10 +99,10 @@ pub fn run_matrix(
         .collect();
     let mut results: Vec<(usize, RunResult)> = jobs
         .into_par_iter()
-        .map(|(i, mix, scheme)| (i, run_mix(cfg, mix, scheme, len, seed)))
-        .collect();
+        .map(|(i, mix, scheme)| Ok((i, run_mix(cfg, mix, scheme, len, seed)?)))
+        .collect::<Result<_, SimError>>()?;
     results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
+    Ok(results.into_iter().map(|(_, r)| r).collect())
 }
 
 #[cfg(test)]
@@ -118,7 +122,7 @@ mod tests {
             max_cycles: 2_000_000,
         };
         let mix = &ALL_MIXES[0]; // HM1
-        let camps = run_mix(&cfg, mix, SchemeKind::CampsMod, &len, 7);
+        let camps = run_mix(&cfg, mix, SchemeKind::CampsMod, &len, 7).unwrap();
         assert!(
             camps.vaults.prefetches.get() > 0,
             "CAMPS-MOD must prefetch on HM1"
@@ -142,7 +146,7 @@ mod tests {
         };
         let mixes = [ALL_MIXES[0], ALL_MIXES[4]];
         let schemes = [SchemeKind::Nopf, SchemeKind::Base];
-        let results = run_matrix(&cfg, &mixes, &schemes, &len, 1);
+        let results = run_matrix(&cfg, &mixes, &schemes, &len, 1).unwrap();
         assert_eq!(results.len(), 4);
         assert_eq!(results[0].mix_id, "HM1");
         assert_eq!(results[0].scheme, SchemeKind::Nopf);
@@ -166,7 +170,10 @@ pub struct Replicated {
 /// Runs `(mix, scheme)` under `seeds` different workload seeds (in
 /// parallel) and summarizes the geomean IPC — use this to put error bars
 /// on any figure cell.
-#[must_use]
+///
+/// # Errors
+/// Returns the first failing seed's error; completed seeds are
+/// discarded when any fails.
 pub fn run_replicated(
     cfg: &SystemConfig,
     mix: &Mix,
@@ -174,22 +181,24 @@ pub fn run_replicated(
     len: &RunLength,
     base_seed: u64,
     seeds: u32,
-) -> Replicated {
+) -> Result<Replicated, SimError> {
     use camps_stats::Running;
     let ipcs: Vec<f64> = (0..u64::from(seeds.max(1)))
         .collect::<Vec<_>>()
         .par_iter()
-        .map(|i| run_mix(cfg, mix, scheme, len, base_seed.wrapping_add(i * 0x9E37)).geomean_ipc())
-        .collect();
+        .map(|i| {
+            Ok(run_mix(cfg, mix, scheme, len, base_seed.wrapping_add(i * 0x9E37))?.geomean_ipc())
+        })
+        .collect::<Result<_, SimError>>()?;
     let mut acc = Running::new();
     for v in &ipcs {
         acc.record(*v);
     }
-    Replicated {
+    Ok(Replicated {
         mean: acc.mean().unwrap_or(0.0),
         stddev: acc.stddev().unwrap_or(0.0),
         seeds: seeds.max(1),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -205,7 +214,7 @@ mod replication_tests {
             instructions: 3_000,
             max_cycles: 1_000_000,
         };
-        let r = run_replicated(&cfg, &ALL_MIXES[8], SchemeKind::Nopf, &len, 7, 3);
+        let r = run_replicated(&cfg, &ALL_MIXES[8], SchemeKind::Nopf, &len, 7, 3).unwrap();
         assert_eq!(r.seeds, 3);
         assert!(r.mean > 0.0);
         assert!(r.stddev >= 0.0);

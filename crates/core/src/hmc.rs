@@ -11,7 +11,8 @@ use camps_link::Crossbar;
 use camps_prefetch::SchemeKind;
 use camps_types::addr::AddressMapping;
 use camps_types::clock::Cycle;
-use camps_types::config::SystemConfig;
+use camps_types::config::{FaultPlan, SystemConfig};
+use camps_types::error::{SimError, VaultSnapshot};
 use camps_types::request::{MemRequest, MemResponse};
 use camps_vault::{VaultController, VaultStats};
 use std::cmp::Reverse;
@@ -45,20 +46,26 @@ pub struct HmcDevice {
     /// Scratch for vault responses within a tick.
     vault_out: Vec<MemResponse>,
     seq: u64,
+    /// Fault-injection schedule (all-off in normal runs).
+    faults: FaultPlan,
+    /// Request packets delivered so far (drives `drop_request_every`).
+    req_deliveries: u64,
+    /// Responses delivered so far (drives `duplicate_response_every`).
+    resp_deliveries: u64,
 }
 
 impl HmcDevice {
     /// Builds the cube with every vault running `scheme`.
     ///
-    /// # Panics
-    /// Panics if the configuration fails validation.
-    #[must_use]
-    pub fn new(cfg: &SystemConfig, scheme: SchemeKind) -> Self {
-        let mapping = cfg.hmc.address_mapping().expect("validated config");
+    /// # Errors
+    /// [`SimError::Config`] if the configuration fails validation.
+    pub fn new(cfg: &SystemConfig, scheme: SchemeKind) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let mapping = cfg.hmc.address_mapping()?;
         let vaults = (0..cfg.hmc.vaults)
             .map(|v| VaultController::new(v as u16, cfg, scheme))
-            .collect();
-        Self {
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
             mapping,
             block_bytes: cfg.hmc.block_bytes,
             link_cfg: cfg.link,
@@ -75,7 +82,10 @@ impl HmcDevice {
             token_returns: BinaryHeap::new(),
             vault_out: Vec::new(),
             seq: 0,
-        }
+            faults: cfg.faults,
+            req_deliveries: 0,
+            resp_deliveries: 0,
+        })
     }
 
     /// The address mapping in force.
@@ -143,11 +153,22 @@ impl HmcDevice {
     }
 
     fn deliver_requests(&mut self, now: Cycle) {
-        while let Some(Reverse((at, _, _))) = self.inflight_req.peek() {
-            if *at > now {
+        while self
+            .inflight_req
+            .peek()
+            .is_some_and(|Reverse((at, _, _))| *at <= now)
+        {
+            let Some(Reverse((_, _, packet))) = self.inflight_req.pop() else {
                 break;
+            };
+            self.req_deliveries += 1;
+            if self.faults.drop_request_every > 0
+                && self
+                    .req_deliveries
+                    .is_multiple_of(self.faults.drop_request_every)
+            {
+                continue; // injected fault: packet vanishes at the crossbar
             }
-            let Reverse((_, _, packet)) = self.inflight_req.pop().expect("peeked");
             let req = packet.request;
             let d = self.mapping.decode(req.addr);
             let v = usize::from(d.vault);
@@ -171,7 +192,12 @@ impl HmcDevice {
     }
 
     fn tick_vaults(&mut self, now: Cycle) {
-        for v in &mut self.vaults {
+        let stalled = (self.faults.stall_vault_from > 0 && now >= self.faults.stall_vault_from)
+            .then_some(self.faults.stall_vault as usize);
+        for (idx, v) in self.vaults.iter_mut().enumerate() {
+            if stalled == Some(idx) {
+                continue; // injected fault: the vault makes no progress
+            }
             v.tick(now, &mut self.vault_out);
         }
         self.resp_queue.extend(self.vault_out.drain(..));
@@ -208,11 +234,23 @@ impl HmcDevice {
     }
 
     fn deliver_responses(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
-        while let Some(Reverse((at, _, _))) = self.inflight_resp.peek() {
-            if *at > now {
+        while self
+            .inflight_resp
+            .peek()
+            .is_some_and(|Reverse((at, _, _))| *at <= now)
+        {
+            let Some(Reverse((_, _, resp))) = self.inflight_resp.pop() else {
                 break;
+            };
+            self.resp_deliveries += 1;
+            if self.faults.duplicate_response_every > 0
+                && self
+                    .resp_deliveries
+                    .is_multiple_of(self.faults.duplicate_response_every)
+            {
+                out.push(resp); // injected fault: the response arrives twice
             }
-            out.push(self.inflight_resp.pop().expect("peeked").0 .2);
+            out.push(resp);
         }
     }
 
@@ -245,6 +283,39 @@ impl HmcDevice {
     #[must_use]
     pub fn vaults(&self) -> &[VaultController] {
         &self.vaults
+    }
+
+    /// Host-controller queue occupancy (watchdog diagnostics).
+    #[must_use]
+    pub fn host_queue_len(&self) -> usize {
+        self.host_queue.len()
+    }
+
+    /// Free token counts on the request-direction links.
+    #[must_use]
+    pub fn req_link_tokens(&self) -> Vec<u32> {
+        self.req_links.tokens_free()
+    }
+
+    /// Free token counts on the response-direction links.
+    #[must_use]
+    pub fn resp_link_tokens(&self) -> Vec<u32> {
+        self.resp_links.tokens_free()
+    }
+
+    /// Occupancy snapshots of every vault, with the host-side retry-queue
+    /// depths filled in (watchdog diagnostics).
+    #[must_use]
+    pub fn vault_snapshots(&self) -> Vec<VaultSnapshot> {
+        self.vaults
+            .iter()
+            .zip(&self.vault_retry)
+            .map(|(v, retry)| {
+                let mut snap = v.snapshot();
+                snap.retry_q = retry.len();
+                snap
+            })
+            .collect()
     }
 }
 
@@ -286,7 +357,7 @@ mod tests {
     #[test]
     fn read_round_trip_includes_link_and_dram_latency() {
         let c = cfg();
-        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
         assert!(h.submit(read(1, 0x1234_5678, 0)));
         let (out, _) = run(&mut h, 0, 1, 50_000);
         assert_eq!(out.len(), 1);
@@ -300,7 +371,7 @@ mod tests {
     #[test]
     fn requests_to_different_vaults_proceed_in_parallel() {
         let c = cfg();
-        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
         // 1 KB apart → adjacent vaults under RoRaBaVaCo.
         for i in 0..8u64 {
             assert!(h.submit(read(i, i * 1024, 0)));
@@ -310,7 +381,7 @@ mod tests {
         // Parallel service: the whole batch should not take 8× a single
         // round trip.
         let single = {
-            let mut h2 = HmcDevice::new(&c, SchemeKind::Nopf);
+            let mut h2 = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
             h2.submit(read(99, 0, 0));
             let (o, _) = run(&mut h2, 0, 1, 50_000);
             o[0].latency()
@@ -324,7 +395,7 @@ mod tests {
     #[test]
     fn host_queue_backpressure() {
         let c = cfg();
-        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
         let mut accepted = 0u64;
         for i in 0..200 {
             if h.submit(read(i, i * 64, 0)) {
@@ -338,7 +409,7 @@ mod tests {
     #[test]
     fn busy_drains_to_idle() {
         let c = cfg();
-        let mut h = HmcDevice::new(&c, SchemeKind::Base);
+        let mut h = HmcDevice::new(&c, SchemeKind::Base).unwrap();
         for i in 0..16u64 {
             h.submit(read(i, i * 4096, 0));
         }
@@ -356,7 +427,7 @@ mod tests {
     #[test]
     fn finalize_merges_vault_stats_and_link_flits() {
         let c = cfg();
-        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
         h.submit(read(1, 0, 0));
         let (_, end) = run(&mut h, 0, 1, 50_000);
         let stats = h.finalize(end);
@@ -367,17 +438,68 @@ mod tests {
     }
 
     #[test]
+    fn drop_fault_swallows_the_request() {
+        let mut c = cfg();
+        c.faults.drop_request_every = 1; // drop every request packet
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
+        assert!(h.submit(read(1, 0, 0)));
+        let (out, _) = run(&mut h, 0, 1, 20_000);
+        assert!(out.is_empty(), "a dropped request must never answer");
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_the_same_response_twice() {
+        let mut c = cfg();
+        c.faults.duplicate_response_every = 1;
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
+        assert!(h.submit(read(1, 0, 0)));
+        let (out, _) = run(&mut h, 0, 2, 50_000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, out[1].id, "both deliveries carry one id");
+    }
+
+    #[test]
+    fn stalled_vault_stops_answering_and_snapshot_shows_the_backlog() {
+        let mut c = cfg();
+        c.faults.stall_vault = 0;
+        c.faults.stall_vault_from = 1;
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
+        assert!(h.submit(read(1, 0, 0))); // address 0 decodes to vault 0
+        let (out, end) = run(&mut h, 0, 1, 20_000);
+        assert!(out.is_empty(), "a stalled vault must never answer");
+        assert!(h.busy(), "the wedged request keeps the cube busy");
+        let snaps = h.vault_snapshots();
+        assert_eq!(snaps.len(), c.hmc.vaults as usize);
+        let stuck = &snaps[0];
+        assert_eq!(
+            stuck.read_q + stuck.retry_q,
+            1,
+            "the request is parked in vault 0 at cycle {end}: {stuck:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_not_panicked() {
+        let mut c = cfg();
+        c.link.tokens = 0;
+        assert!(matches!(
+            HmcDevice::new(&c, SchemeKind::Nopf),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
     fn same_bank_requests_serialize_more_than_cross_vault() {
         let c = cfg();
         // Same vault, same bank, different rows → conflicts serialize.
-        let mut h = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut h = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
         let row_stride = 1u64 << 19; // same vault & bank, next row (RoRaBaVaCo)
         for i in 0..4u64 {
             h.submit(read(i, i * row_stride, 0));
         }
         let (out_same, end_same) = run(&mut h, 0, 4, 100_000);
         assert_eq!(out_same.len(), 4);
-        let mut h2 = HmcDevice::new(&c, SchemeKind::Nopf);
+        let mut h2 = HmcDevice::new(&c, SchemeKind::Nopf).unwrap();
         for i in 0..4u64 {
             h2.submit(read(i, i * 1024, 0)); // different vaults
         }

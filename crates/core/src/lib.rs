@@ -4,28 +4,38 @@
 //! ```no_run
 //! use camps::experiment::{run_mix, RunLength};
 //! use camps_prefetch::SchemeKind;
-//! use camps_types::SystemConfig;
+//! use camps_types::{SimError, SystemConfig};
 //! use camps_workloads::Mix;
 //!
-//! let cfg = SystemConfig::paper_default();
-//! let mix = Mix::by_id("HM1").unwrap();
-//! let result = run_mix(&cfg, mix, SchemeKind::CampsMod, &RunLength::quick(), 42);
-//! println!("{}: geomean IPC {:.3}", mix.id, result.geomean_ipc());
+//! fn main() -> Result<(), SimError> {
+//!     let cfg = SystemConfig::paper_default();
+//!     let mix = Mix::by_id("HM1").unwrap();
+//!     let result = run_mix(&cfg, mix, SchemeKind::CampsMod, &RunLength::quick(), 42)?;
+//!     println!("{}: geomean IPC {:.3}", mix.id, result.geomean_ipc());
+//!     Ok(())
+//! }
 //! ```
 //!
 //! * [`hmc`] — the cube: serial links + crossbar + 32 vault controllers,
 //! * [`system`] — cores + caches + cube wired together; the cycle loop,
+//! * [`audit`] — request-lifetime conservation checking,
 //! * [`metrics`] — per-run results ([`metrics::RunResult`]),
 //! * [`experiment`] — workload × scheme sweeps (rayon-parallel) and the
 //!   figure-level aggregations used to regenerate the paper's plots.
+//!
+//! Every entry point returns [`Result`](camps_types::SimError)-typed
+//! errors: invalid configs, malformed traces, integrity violations, and
+//! watchdog trips surface as values, never panics.
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod experiment;
 pub mod hmc;
 pub mod metrics;
 pub mod system;
 
+pub use audit::RequestAuditor;
 pub use experiment::{run_matrix, run_mix, run_replicated, Replicated, RunLength};
 pub use hmc::HmcDevice;
 pub use metrics::{fairness, Fairness, RunResult};

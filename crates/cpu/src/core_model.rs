@@ -137,6 +137,13 @@ impl Core {
         self.trace.name()
     }
 
+    /// Instructions currently in the reorder buffer (watchdog
+    /// diagnostics: a full ROB that never drains marks the wedged core).
+    #[must_use]
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
     /// Pops the next trace op *without* simulating it — used by the
     /// functional cache-warmup phase, which advances the trace cursor
     /// while priming caches outside of detailed timing.

@@ -20,6 +20,7 @@
 use crate::trace::{TraceOp, TraceSource};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use camps_types::addr::PhysAddr;
+use camps_types::error::{SimError, TraceError};
 use camps_types::request::AccessKind;
 use std::fs;
 use std::io;
@@ -109,31 +110,33 @@ impl FileTrace {
     /// Parses a trace from its byte representation.
     ///
     /// # Errors
-    /// Returns `InvalidData` on bad magic, version, truncation, or an
-    /// empty trace.
-    pub fn from_bytes(name: impl Into<String>, bytes: &[u8]) -> io::Result<Self> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    /// Every corruption mode has its own [`TraceError`] variant:
+    /// truncated header/record, bad magic, unsupported version, unknown
+    /// record kind, trailing bytes, and an empty (zero-record) trace.
+    pub fn from_bytes(name: impl Into<String>, bytes: &[u8]) -> Result<Self, TraceError> {
+        let total = bytes.len();
         let mut buf = bytes;
         if buf.remaining() < 20 {
-            return Err(bad("trace header truncated"));
+            return Err(TraceError::TruncatedHeader { len: total });
         }
         let mut magic = [0u8; 8];
         buf.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(bad("not a CAMPS trace (bad magic)"));
+            return Err(TraceError::BadMagic { found: magic });
         }
         let version = buf.get_u32_le();
         if version != VERSION {
-            return Err(bad("unsupported trace version"));
+            return Err(TraceError::UnsupportedVersion { found: version });
         }
         let count = buf.get_u64_le();
         if count == 0 {
-            return Err(bad("empty trace"));
+            return Err(TraceError::Empty);
         }
         let mut ops = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
-        for _ in 0..count {
+        for index in 0..count {
+            let offset = total - buf.remaining();
             if buf.remaining() < 5 {
-                return Err(bad("trace record truncated"));
+                return Err(TraceError::TruncatedRecord { index, offset });
             }
             let gap = buf.get_u32_le();
             let kind = buf.get_u8();
@@ -141,7 +144,7 @@ impl FileTrace {
                 0 => None,
                 1 | 2 => {
                     if buf.remaining() < 8 {
-                        return Err(bad("trace record truncated"));
+                        return Err(TraceError::TruncatedRecord { index, offset });
                     }
                     let addr = PhysAddr(buf.get_u64_le());
                     Some((
@@ -153,9 +156,14 @@ impl FileTrace {
                         },
                     ))
                 }
-                _ => return Err(bad("unknown record kind")),
+                _ => return Err(TraceError::UnknownKind { index, kind }),
             };
             ops.push(TraceOp { gap, mem });
+        }
+        if buf.remaining() > 0 {
+            return Err(TraceError::TrailingBytes {
+                remaining: buf.remaining(),
+            });
         }
         Ok(Self {
             ops,
@@ -167,14 +175,18 @@ impl FileTrace {
     /// Loads a trace file from disk.
     ///
     /// # Errors
-    /// Propagates I/O and format failures.
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+    /// [`SimError::Io`] when the file cannot be read, [`SimError::Trace`]
+    /// when its contents are malformed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SimError> {
+        let path = path.as_ref();
         let name = path
-            .as_ref()
             .file_stem()
             .map_or_else(|| "trace".to_string(), |s| s.to_string_lossy().into_owned());
-        let bytes = fs::read(path)?;
-        Self::from_bytes(name, &bytes)
+        let bytes = fs::read(path).map_err(|source| SimError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Ok(Self::from_bytes(name, &bytes)?)
     }
 
     /// Number of distinct records (one loop iteration).
@@ -258,33 +270,139 @@ mod tests {
         std::fs::remove_file(path).unwrap();
     }
 
-    #[test]
-    fn rejects_garbage() {
-        assert!(FileTrace::from_bytes("x", b"short").is_err());
-        assert!(FileTrace::from_bytes("x", b"NOTMAGIC________________").is_err());
-        // Valid header claiming records that are not there.
-        let mut bad = BytesMut::new();
-        bad.put_slice(MAGIC);
-        bad.put_u32_le(VERSION);
-        bad.put_u64_le(5);
-        assert!(FileTrace::from_bytes("x", &bad).is_err());
-        // Empty trace.
-        let mut empty = BytesMut::new();
-        empty.put_slice(MAGIC);
-        empty.put_u32_le(VERSION);
-        empty.put_u64_le(0);
-        assert!(FileTrace::from_bytes("x", &empty).is_err());
-    }
-
-    #[test]
-    fn rejects_unknown_kind() {
+    /// Header (magic + version + count) followed by `records`.
+    fn with_header(count: u64, records: &[u8]) -> BytesMut {
         let mut b = BytesMut::new();
         b.put_slice(MAGIC);
         b.put_u32_le(VERSION);
+        b.put_u64_le(count);
+        b.put_slice(records);
+        b
+    }
+
+    #[test]
+    fn truncated_header_is_typed() {
+        assert_eq!(
+            FileTrace::from_bytes("x", b"short").unwrap_err(),
+            TraceError::TruncatedHeader { len: 5 }
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err = FileTrace::from_bytes("x", b"NOTMAGIC________________").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::BadMagic {
+                found: *b"NOTMAGIC"
+            }
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_typed() {
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u32_le(VERSION + 41);
         b.put_u64_le(1);
-        b.put_u32_le(0);
-        b.put_u8(7); // bogus kind
-        assert!(FileTrace::from_bytes("x", &b).is_err());
+        assert_eq!(
+            FileTrace::from_bytes("x", &b).unwrap_err(),
+            TraceError::UnsupportedVersion {
+                found: VERSION + 41
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        // Header claims 5 records; body has none.
+        let err = FileTrace::from_bytes("x", &with_header(5, &[])).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::TruncatedRecord {
+                index: 0,
+                offset: 20
+            }
+        );
+        // Second record cut off inside its address payload.
+        let mut records = BytesMut::new();
+        records.put_u32_le(1);
+        records.put_u8(0); // record 0: compute-only, complete
+        records.put_u32_le(2);
+        records.put_u8(1); // record 1: load, but the 8-byte address is missing
+        let err = FileTrace::from_bytes("x", &with_header(2, &records)).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::TruncatedRecord {
+                index: 1,
+                offset: 25
+            }
+        );
+    }
+
+    #[test]
+    fn zero_record_trace_is_typed() {
+        assert_eq!(
+            FileTrace::from_bytes("x", &with_header(0, &[])).unwrap_err(),
+            TraceError::Empty
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let mut records = BytesMut::new();
+        records.put_u32_le(0);
+        records.put_u8(7); // bogus kind
+        assert_eq!(
+            FileTrace::from_bytes("x", &with_header(1, &records)).unwrap_err(),
+            TraceError::UnknownKind { index: 0, kind: 7 }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut records = BytesMut::new();
+        records.put_u32_le(0);
+        records.put_u8(0);
+        records.put_slice(&[0xEE; 3]); // 3 bytes past the declared count
+        assert_eq!(
+            FileTrace::from_bytes("x", &with_header(1, &records)).unwrap_err(),
+            TraceError::TrailingBytes { remaining: 3 }
+        );
+    }
+
+    #[test]
+    fn fault_plan_truncation_yields_typed_error() {
+        let mut w = TraceWriter::new();
+        for op in sample_ops() {
+            w.push(&op);
+        }
+        let intact = w.into_bytes().to_vec();
+        let plan = camps_types::FaultPlan {
+            trace_truncate_to: 24, // header + part of the first record
+            ..camps_types::FaultPlan::default()
+        };
+        let mangled = plan.mangle_trace_bytes(intact.clone());
+        assert!(matches!(
+            FileTrace::from_bytes("x", &mangled).unwrap_err(),
+            TraceError::TruncatedRecord { .. }
+        ));
+        let plan = camps_types::FaultPlan {
+            trace_corrupt_magic: true,
+            ..camps_types::FaultPlan::default()
+        };
+        let mangled = plan.mangle_trace_bytes(intact);
+        assert!(matches!(
+            FileTrace::from_bytes("x", &mangled).unwrap_err(),
+            TraceError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = FileTrace::load("/nonexistent/dir/missing.camps-trace").unwrap_err();
+        assert!(matches!(err, SimError::Io { .. }));
+        assert!(err.to_string().contains("missing.camps-trace"));
     }
 
     proptest! {

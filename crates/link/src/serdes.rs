@@ -81,6 +81,13 @@ impl SerialLink {
         self.tokens_free >= flits
     }
 
+    /// Flow-control credits currently available (watchdog diagnostics: a
+    /// link pinned at zero free tokens is a flow-control deadlock).
+    #[must_use]
+    pub fn tokens_free(&self) -> u32 {
+        self.tokens_free
+    }
+
     /// Earliest cycle the serializer is free.
     #[must_use]
     pub fn ready_at(&self) -> Cycle {
@@ -210,6 +217,12 @@ impl LinkSet {
             let (lp, lf, lb) = l.stats();
             (p + lp, f + lf, b + lb)
         })
+    }
+
+    /// Per-link free-token counts (watchdog diagnostics).
+    #[must_use]
+    pub fn tokens_free(&self) -> Vec<u32> {
+        self.links.iter().map(SerialLink::tokens_free).collect()
     }
 }
 

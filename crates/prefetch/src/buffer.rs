@@ -234,13 +234,12 @@ impl PrefetchBuffer {
 
     /// Moves entry `idx` to MRU.
     fn touch(&mut self, idx: usize) {
-        let rank = self
-            .lru_order
-            .iter()
-            .position(|&i| i == idx)
-            .expect("entry must be in the recency stack");
-        self.lru_order.remove(rank);
-        self.lru_order.insert(0, idx);
+        let rank = self.lru_order.iter().position(|&i| i == idx);
+        debug_assert!(rank.is_some(), "entry must be in the recency stack");
+        if let Some(rank) = rank {
+            self.lru_order.remove(rank);
+            self.lru_order.insert(0, idx);
+        }
     }
 
     fn pick_victim(&self) -> usize {
@@ -249,11 +248,11 @@ impl PrefetchBuffer {
             .iter()
             .enumerate()
             .map(|(idx, e)| {
-                let rank = self
-                    .lru_order
-                    .iter()
-                    .position(|&i| i == idx)
-                    .expect("entry in recency stack");
+                let rank = self.lru_order.iter().position(|&i| i == idx);
+                debug_assert!(rank.is_some(), "entry must be in the recency stack");
+                // An entry missing from the stack (impossible unless the
+                // invariant broke) ranks as least recent.
+                let rank = rank.unwrap_or(self.lru_order.len().saturating_sub(1));
                 VictimView {
                     utilization: (e.line_mask.count_ones() + e.seed_util).min(self.blocks_per_row),
                     lines: self.blocks_per_row,

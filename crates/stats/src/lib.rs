@@ -5,6 +5,8 @@
 //! harness turns into the paper's tables and figures.
 //!
 //! * [`counter`] — event counters and hit/total ratios,
+//! * [`audit`] — per-vault request-conservation ledgers for the request
+//!   auditor,
 //! * [`histogram`] — linear and log₂ latency histograms,
 //! * [`running`] — streaming mean/variance (Welford) and min/max,
 //! * [`summary`] — aggregation helpers: arithmetic/geometric means,
@@ -12,11 +14,13 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod counter;
 pub mod histogram;
 pub mod running;
 pub mod summary;
 
+pub use audit::{AuditLedger, VaultAudit};
 pub use counter::{Counter, Ratio};
 pub use histogram::{Histogram, Log2Histogram};
 pub use running::Running;

@@ -307,6 +307,90 @@ impl Default for CoreSidePrefetchConfig {
     }
 }
 
+/// Runtime integrity checking: the request auditor and the forward-progress
+/// watchdog. Both are *checkers*, not model features — they never change
+/// simulated behavior, only whether a broken run fails loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrityConfig {
+    /// Enable the request-lifetime auditor in release builds (debug builds
+    /// audit unconditionally; the auditor is cheap but not free).
+    pub audit: bool,
+    /// Forward-progress watchdog: abort with a diagnostic dump if no core
+    /// retires an instruction and no memory response is delivered for this
+    /// many CPU cycles while work is pending. 0 disables the watchdog.
+    pub watchdog_cycles: Cycle,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        Self {
+            audit: false,
+            // Far above any legitimate stall (refresh is ~10^3 cycles,
+            // a full write drain ~10^4): only a wedged machine waits this
+            // long with zero retirements and zero responses.
+            watchdog_cycles: 200_000,
+        }
+    }
+}
+
+/// A deterministic fault-injection schedule. All fields default to "off";
+/// each activated fault exists to prove an integrity check fires (the
+/// watchdog for starvation faults, the auditor for conservation faults,
+/// typed trace errors for corruption faults). Faults are injected at the
+/// same model boundaries real bugs would corrupt, so a passing
+/// fault-injection test certifies the corresponding detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Drop every Nth request packet at crossbar delivery instead of
+    /// handing it to its vault (0 = never). A dropped demand read wedges
+    /// its MSHR forever — the watchdog must catch it.
+    #[serde(default)]
+    pub drop_request_every: u64,
+    /// Deliver every Nth vault response to the host twice (0 = never).
+    /// The auditor must flag the second arrival as a duplicate completion.
+    #[serde(default)]
+    pub duplicate_response_every: u64,
+    /// Index of a vault to stall (ignored unless `stall_vault_from > 0`).
+    #[serde(default)]
+    pub stall_vault: u32,
+    /// First cycle at which `stall_vault` stops being ticked — its queues
+    /// fill and its requests never complete (0 = never stall).
+    #[serde(default)]
+    pub stall_vault_from: Cycle,
+    /// Truncate a serialized trace image to this many bytes before
+    /// decoding (0 = leave intact). Applied by
+    /// [`FaultPlan::mangle_trace_bytes`].
+    #[serde(default)]
+    pub trace_truncate_to: u64,
+    /// Overwrite the trace magic with garbage before decoding.
+    #[serde(default)]
+    pub trace_corrupt_magic: bool,
+}
+
+impl FaultPlan {
+    /// True when any fault is scheduled.
+    #[must_use]
+    pub fn any_active(&self) -> bool {
+        *self != Self::default()
+    }
+
+    /// Applies the trace-corruption faults to a serialized trace image:
+    /// truncation first, then magic corruption. With both trace faults
+    /// off this is the identity.
+    #[must_use]
+    pub fn mangle_trace_bytes(&self, mut bytes: Vec<u8>) -> Vec<u8> {
+        if self.trace_truncate_to > 0 {
+            bytes.truncate(usize::try_from(self.trace_truncate_to).unwrap_or(usize::MAX));
+        }
+        if self.trace_corrupt_magic {
+            for (i, b) in bytes.iter_mut().take(8).enumerate() {
+                *b = 0xA5 ^ (i as u8);
+            }
+        }
+        bytes
+    }
+}
+
 /// The complete simulated system. Construct via [`SystemConfig::paper_default`]
 /// (Table I) or [`SystemConfig::small`] (scaled-down, for fast tests), then
 /// customize fields and call [`SystemConfig::validate`].
@@ -335,6 +419,12 @@ pub struct SystemConfig {
     pub core_prefetch: CoreSidePrefetchConfig,
     /// Energy model constants.
     pub energy: EnergyConfig,
+    /// Request auditing and watchdog thresholds.
+    #[serde(default)]
+    pub integrity: IntegrityConfig,
+    /// Fault-injection schedule (all-off by default).
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl SystemConfig {
@@ -437,6 +527,8 @@ impl SystemConfig {
                 refresh_nj: 30.0,
                 background_mw_per_vault: 80.0,
             },
+            integrity: IntegrityConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -556,6 +648,15 @@ impl SystemConfig {
                 reason: "threshold must be at least 1".into(),
             });
         }
+        if self.faults.stall_vault_from > 0 && self.faults.stall_vault >= self.hmc.vaults {
+            return Err(ConfigError::Invalid {
+                field: "faults.stall_vault",
+                reason: format!(
+                    "vault {} out of range (cube has {})",
+                    self.faults.stall_vault, self.hmc.vaults
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -657,6 +758,44 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let d: SystemConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn default_fault_plan_is_inert_and_identity_on_traces() {
+        let plan = FaultPlan::default();
+        assert!(!plan.any_active());
+        let bytes = vec![1u8, 2, 3, 4];
+        assert_eq!(plan.mangle_trace_bytes(bytes.clone()), bytes);
+    }
+
+    #[test]
+    fn fault_plan_truncates_then_corrupts_magic() {
+        let plan = FaultPlan {
+            trace_truncate_to: 3,
+            trace_corrupt_magic: true,
+            ..FaultPlan::default()
+        };
+        assert!(plan.any_active());
+        let out = plan.mangle_trace_bytes(vec![b'C'; 16]);
+        assert_eq!(out.len(), 3);
+        assert_ne!(&out[..3], b"CCC");
+    }
+
+    #[test]
+    fn stalling_a_nonexistent_vault_is_rejected() {
+        let mut c = SystemConfig::small();
+        c.faults.stall_vault = c.hmc.vaults;
+        c.faults.stall_vault_from = 1;
+        assert!(c.validate().is_err());
+        c.faults.stall_vault_from = 0; // inactive plan: index not checked
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn integrity_defaults_watchdog_on_audit_off() {
+        let i = IntegrityConfig::default();
+        assert!(!i.audit);
+        assert!(i.watchdog_cycles > 0);
     }
 
     #[test]

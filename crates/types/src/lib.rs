@@ -8,8 +8,10 @@
 //! * [`request`] — memory requests/responses flowing between the cores and
 //!   the cube,
 //! * [`config`] — the full system configuration, whose defaults reproduce
-//!   Table I of the paper,
-//! * [`error`] — configuration validation errors.
+//!   Table I of the paper, plus integrity-check knobs and a deterministic
+//!   fault-injection plan,
+//! * [`error`] — typed simulation errors: configuration validation, trace
+//!   format defects, request-conservation violations, and watchdog reports.
 //!
 //! Nothing in here simulates anything; these are plain data types with
 //! conversion helpers so the substrate crates (`camps-dram`, `camps-link`,
@@ -26,9 +28,9 @@ pub mod request;
 pub use addr::{AddressMapping, DecodedAddr, MappingScheme, PhysAddr, RowKey};
 pub use clock::{ClockDomain, Cycle};
 pub use config::{
-    CacheLevelConfig, CoreSidePrefetchConfig, CpuConfig, DramTimingConfig, EnergyConfig,
-    HmcGeometry, LinkConfig, PagePolicy, PrefetchBufferConfig, SchedulerKind, SystemConfig,
-    VaultConfig,
+    CacheLevelConfig, CoreSidePrefetchConfig, CpuConfig, DramTimingConfig, EnergyConfig, FaultPlan,
+    HmcGeometry, IntegrityConfig, LinkConfig, PagePolicy, PrefetchBufferConfig, SchedulerKind,
+    SystemConfig, VaultConfig,
 };
-pub use error::ConfigError;
+pub use error::{ConfigError, IntegrityError, SimError, TraceError, VaultSnapshot, WatchdogReport};
 pub use request::{AccessKind, CoreId, MemRequest, MemResponse, RequestId, ServiceSource};

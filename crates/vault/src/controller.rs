@@ -10,6 +10,7 @@ use camps_prefetch::scheme::{PfAction, PrefetchScheme, SchemeKind};
 use camps_types::addr::{DecodedAddr, RowKey};
 use camps_types::clock::Cycle;
 use camps_types::config::{PagePolicy, SchedulerKind, SystemConfig};
+use camps_types::error::{ConfigError, VaultSnapshot};
 use camps_types::request::{AccessKind, MemRequest, MemResponse, ServiceSource};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -101,8 +102,10 @@ pub struct VaultController {
 impl VaultController {
     /// Builds vault `id` from the system configuration, running the given
     /// prefetching scheme.
-    #[must_use]
-    pub fn new(id: u16, cfg: &SystemConfig, scheme_kind: SchemeKind) -> Self {
+    ///
+    /// # Errors
+    /// Propagates [`ConfigError`] from an invalid cube geometry.
+    pub fn new(id: u16, cfg: &SystemConfig, scheme_kind: SchemeKind) -> Result<Self, ConfigError> {
         let timing = TimingCpu::from_config(&cfg.dram, cfg.cpu.freq_hz);
         let banks = (0..cfg.hmc.banks_per_vault).map(|_| Bank::new()).collect();
         let scheme = scheme_kind.build(&cfg.prefetch, cfg.hmc.banks_per_vault);
@@ -111,7 +114,7 @@ impl VaultController {
             cfg.hmc.blocks_per_row(),
             scheme.replacement(),
         );
-        Self {
+        Ok(Self {
             id,
             banks,
             window: ActWindow::new(timing.t_rrd, timing.t_faw),
@@ -125,7 +128,7 @@ impl VaultController {
             fetch_chunks: (timing.t_row_transfer / timing.t_burst.max(1)).max(1) as u32,
             push_to_llc: cfg.prefetch.push_to_llc,
             push_seq: 0,
-            mapping: cfg.hmc.address_mapping().expect("validated config"),
+            mapping: cfg.hmc.address_mapping()?,
             drain_high: cfg.vault.write_drain_high as usize,
             drain_low: cfg.vault.write_drain_low as usize,
             draining: false,
@@ -150,7 +153,7 @@ impl VaultController {
             resp_seq: 0,
             hit_latency: cfg.prefetch.hit_latency,
             stats: VaultStats::new(),
-        }
+        })
     }
 
     /// This vault's index.
@@ -170,6 +173,30 @@ impl VaultController {
     #[must_use]
     pub fn scheme_debug(&self) -> String {
         self.scheme.debug_state()
+    }
+
+    /// Occupancy snapshot for watchdog diagnostics: queue depths, open
+    /// rows, buffer residency, and in-flight transfer jobs. The host-side
+    /// retry-queue depth is not visible from inside the vault; the caller
+    /// fills it in.
+    #[must_use]
+    pub fn snapshot(&self) -> VaultSnapshot {
+        VaultSnapshot {
+            vault: self.id,
+            read_q: self.read_q.len(),
+            write_q: self.write_q.len(),
+            retry_q: 0,
+            open_rows: self
+                .banks
+                .iter()
+                .enumerate()
+                .filter_map(|(bank, b)| b.open_row().map(|row| (bank as u16, row)))
+                .collect(),
+            buffer_rows: self.buffer.len(),
+            inflight_jobs: self.fetches.len()
+                + self.writeback_q.len()
+                + usize::from(self.active_writeback.is_some()),
+        }
     }
 
     /// True while any demand, prefetch, writeback, or response work
@@ -278,14 +305,18 @@ impl VaultController {
     }
 
     fn pop_responses(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
-        while let Some(Reverse((at, _, resp))) = self.responses.peek() {
-            if *at > now {
+        while self
+            .responses
+            .peek()
+            .is_some_and(|Reverse((at, _, _))| *at <= now)
+        {
+            let Some(Reverse((_, _, resp))) = self.responses.pop() else {
                 break;
-            }
+            };
             if resp.kind.is_read() && !resp.push {
                 self.stats.read_latency.record(resp.latency());
             }
-            out.push(self.responses.pop().expect("peeked").0 .2);
+            out.push(resp);
         }
     }
 
@@ -807,12 +838,11 @@ impl VaultController {
                     job.done = Some(done);
                 }
             }
-            Some(_) => {
+            Some(open) => {
                 // A different row occupies the bank; close it when legal
                 // and when no demand wants it (demand precharges happen in
                 // the scheduler).
                 if bank.can_precharge(now) && !self.want_precharge[bank_idx] {
-                    let open = bank.open_row().expect("checked");
                     let demand = queued_same_row(&self.read_q, job.key.bank, open, None)
                         + queued_same_row(&self.write_q, job.key.bank, open, None);
                     if demand == 0 {
@@ -899,7 +929,7 @@ mod tests {
     #[test]
     fn single_read_miss_latency_matches_timing() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r, d) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         assert!(v.try_enqueue(r, d, 0));
         let (out, _) = run_until(&mut v, 0, 1, 10_000);
@@ -914,7 +944,7 @@ mod tests {
     #[test]
     fn second_read_same_row_is_a_hit() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         let (r2, d2) = req_at(&c, 2, 0, 5, 1, AccessKind::Read, 0);
         v.try_enqueue(r1, d1, 0);
@@ -929,7 +959,7 @@ mod tests {
     #[test]
     fn different_row_same_bank_is_a_conflict() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r1, d1, 0);
         let (_, end) = run_until(&mut v, 0, 1, 10_000);
@@ -945,7 +975,7 @@ mod tests {
     #[test]
     fn base_scheme_prefetches_and_later_requests_hit_buffer() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Base);
+        let mut v = VaultController::new(0, &c, SchemeKind::Base).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r1, d1, 0);
         let (_, end) = run_until(&mut v, 0, 1, 20_000);
@@ -970,7 +1000,7 @@ mod tests {
     fn base_never_leaves_rows_open() {
         // BASE fetches + precharges on every activation → no conflicts.
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Base);
+        let mut v = VaultController::new(0, &c, SchemeKind::Base).unwrap();
         let mut now = 0;
         let mut out = Vec::new();
         for (i, row) in [5u32, 6, 5, 6, 7, 8].iter().enumerate() {
@@ -991,7 +1021,7 @@ mod tests {
     #[test]
     fn camps_prefetches_hot_row_after_five_accesses() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::CampsMod);
+        let mut v = VaultController::new(0, &c, SchemeKind::CampsMod).unwrap();
         let mut now = 0;
         let mut out = Vec::new();
         // Five sequential requests to row 5 (activation + 4 hits exceeds
@@ -1016,7 +1046,7 @@ mod tests {
     #[test]
     fn camps_prefetches_conflict_victim_on_reactivation() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Camps);
+        let mut v = VaultController::new(0, &c, SchemeKind::Camps).unwrap();
         let mut now = 0;
         let mut out = Vec::new();
         // Ping-pong rows 5 and 6 in bank 0. With ct_evidence = 3, the CT
@@ -1041,7 +1071,7 @@ mod tests {
     #[test]
     fn nopf_never_prefetches() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let mut now = 0;
         let mut out = Vec::new();
         for i in 0..20u64 {
@@ -1060,7 +1090,7 @@ mod tests {
     #[test]
     fn writes_are_posted_and_drain() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (w, d) = req_at(&c, 1, 0, 5, 0, AccessKind::Write, 0);
         assert!(v.try_enqueue(w, d, 0));
         let (out, end) = run_until(&mut v, 0, 1, 100);
@@ -1080,7 +1110,7 @@ mod tests {
     #[test]
     fn read_queue_backpressure() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let mut accepted = 0;
         for i in 0..(c.vault.read_queue + 5) as u64 {
             let (r, d) = req_at(&c, i, 0, i as u32 % 8, 0, AccessKind::Read, 0);
@@ -1095,7 +1125,7 @@ mod tests {
     #[test]
     fn frfcfs_prefers_open_row_over_older_conflict() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         // Open row 5.
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r1, d1, 0);
@@ -1116,7 +1146,7 @@ mod tests {
     fn fcfs_serves_strictly_in_order() {
         let mut c = cfg();
         c.vault.scheduler = SchedulerKind::Fcfs;
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r1, d1, 0);
         let (_, end) = run_until(&mut v, 0, 1, 10_000);
@@ -1133,7 +1163,7 @@ mod tests {
     fn closed_page_policy_precharges_after_service() {
         let mut c = cfg();
         c.vault.page_policy = PagePolicy::Closed;
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r1, d1, 0);
         let (_, end) = run_until(&mut v, 0, 1, 10_000);
@@ -1155,7 +1185,7 @@ mod tests {
     #[test]
     fn responses_preserve_request_ids_and_metadata() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r, d) = req_at(&c, 42, 1, 3, 2, AccessKind::Read, 7);
         v.try_enqueue(r, d, 7);
         let (out, _) = run_until(&mut v, 7, 1, 10_000);
@@ -1169,7 +1199,7 @@ mod tests {
     #[test]
     fn finalize_counts_resident_referenced_rows() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Base);
+        let mut v = VaultController::new(0, &c, SchemeKind::Base).unwrap();
         let (r, d) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r, d, 0);
         let mut out = Vec::new();
@@ -1196,7 +1226,7 @@ mod tests {
             scheme_idx in 0usize..6,
         ) {
             let c = cfg();
-            let mut v = VaultController::new(0, &c, SchemeKind::ALL[scheme_idx]);
+            let mut v = VaultController::new(0, &c, SchemeKind::ALL[scheme_idx]).unwrap();
             let mut now: Cycle = 0;
             let mut accepted = 0u64;
             let mut out = Vec::new();
@@ -1230,7 +1260,7 @@ mod tests {
         // spaced by at least one bus slot (t_burst), not returned together.
         let c = cfg();
         let t = TimingCpu::from_config(&c.dram, c.cpu.freq_hz);
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         let (r2, d2) = req_at(&c, 2, 1, 7, 0, AccessKind::Read, 0);
         assert!(v.try_enqueue(r1, d1, 0));
@@ -1252,7 +1282,7 @@ mod tests {
         // would finish if it monopolized the bus.
         let c = cfg();
         let t = TimingCpu::from_config(&c.dram, c.cpu.freq_hz);
-        let mut v = VaultController::new(0, &c, SchemeKind::Base);
+        let mut v = VaultController::new(0, &c, SchemeKind::Base).unwrap();
         let (r1, d1) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         assert!(v.try_enqueue(r1, d1, 0));
         // Let the activation + fetch begin.
@@ -1284,7 +1314,7 @@ mod tests {
     fn push_to_llc_emits_one_packet_per_block() {
         let mut c = cfg();
         c.prefetch.push_to_llc = true;
-        let mut v = VaultController::new(0, &c, SchemeKind::Base);
+        let mut v = VaultController::new(0, &c, SchemeKind::Base).unwrap();
         let (r, d) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         assert!(v.try_enqueue(r, d, 0));
         let mut out = Vec::new();
@@ -1309,7 +1339,7 @@ mod tests {
     #[test]
     fn refresh_fires_periodically_and_blocks_activation() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let t = TimingCpu::from_config(&c.dram, c.cpu.freq_hz);
         let mut out = Vec::new();
         // Run three refresh intervals with no traffic: the vault must
@@ -1328,7 +1358,7 @@ mod tests {
     #[test]
     fn refresh_drains_open_rows_first() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let t = TimingCpu::from_config(&c.dram, c.cpu.freq_hz);
         // Open a row just before the refresh deadline.
         let start = v_next_refresh_probe(&c) - 200;
@@ -1356,7 +1386,7 @@ mod tests {
     fn disabling_refresh_removes_all_refreshes() {
         let mut c = cfg();
         c.dram.t_refi = 0;
-        let mut v = VaultController::new(0, &c, SchemeKind::Nopf);
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let mut out = Vec::new();
         for now in 1..100_000 {
             v.tick(now, &mut out);
@@ -1367,7 +1397,7 @@ mod tests {
     #[test]
     fn write_to_buffered_row_is_absorbed_and_written_back() {
         let c = cfg();
-        let mut v = VaultController::new(0, &c, SchemeKind::Base);
+        let mut v = VaultController::new(0, &c, SchemeKind::Base).unwrap();
         // Prefetch row 5 via a read.
         let (r, d) = req_at(&c, 1, 0, 5, 0, AccessKind::Read, 0);
         v.try_enqueue(r, d, 0);

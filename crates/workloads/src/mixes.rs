@@ -3,6 +3,7 @@
 use crate::generator::SpecTrace;
 use crate::spec::profile_for;
 use camps_cpu::trace::TraceSource;
+use camps_types::error::SimError;
 use serde::{Deserialize, Serialize};
 
 /// Which intensity group a mix belongs to (Figure 5's x-axis grouping).
@@ -125,23 +126,30 @@ impl Mix {
     /// two copies of each benchmark get different RNG streams via the core
     /// index.
     ///
-    /// # Panics
-    /// Panics if `capacity / 8` cannot hold the largest working set.
-    #[must_use]
-    pub fn build_traces(&self, capacity: u64, seed: u64) -> Vec<Box<dyn TraceSource>> {
+    /// # Errors
+    /// [`SimError::Setup`] if any benchmark name is not in Table II —
+    /// possible only for hand-built [`Mix`] values, since the fields are
+    /// public ([`ALL_MIXES`] is test-verified).
+    pub fn build_traces(
+        &self,
+        capacity: u64,
+        seed: u64,
+    ) -> Result<Vec<Box<dyn TraceSource>>, SimError> {
         let slice = capacity / 8;
         self.benchmarks
             .iter()
             .enumerate()
             .map(|(core, name)| {
-                let profile = profile_for(name);
+                let profile = profile_for(name).ok_or_else(|| SimError::Setup {
+                    reason: format!("mix {}: unknown Table II benchmark `{name}`", self.id),
+                })?;
                 let base = core as u64 * slice;
-                Box::new(SpecTrace::new(
+                Ok(Box::new(SpecTrace::new(
                     profile,
                     base,
                     slice,
                     seed ^ ((core as u64) << 32),
-                )) as Box<dyn TraceSource>
+                )) as Box<dyn TraceSource>)
             })
             .collect()
     }
@@ -181,7 +189,7 @@ mod tests {
             let highs = mix
                 .benchmarks
                 .iter()
-                .filter(|b| profile_for(b).class == MemClass::High)
+                .filter(|b| profile_for(b).unwrap().class == MemClass::High)
                 .count();
             match mix.class {
                 MixClass::HighMemory => assert_eq!(highs, 8, "{}", mix.id),
@@ -200,7 +208,7 @@ mod tests {
     #[test]
     fn traces_are_sliced_and_named() {
         let mix = Mix::by_id("MX1").unwrap();
-        let traces = mix.build_traces(4 << 30, 7);
+        let traces = mix.build_traces(4 << 30, 7).unwrap();
         assert_eq!(traces.len(), 8);
         for (i, t) in traces.iter().enumerate() {
             assert_eq!(t.name(), mix.benchmarks[i]);
@@ -210,7 +218,7 @@ mod tests {
     #[test]
     fn duplicate_benchmarks_get_distinct_streams() {
         let mix = Mix::by_id("HM1").unwrap();
-        let mut traces = mix.build_traces(4 << 30, 7);
+        let mut traces = mix.build_traces(4 << 30, 7).unwrap();
         // Cores 0 and 4 both run bwaves but in different slices with
         // different seeds.
         let a = traces[0].next_op();
@@ -219,5 +227,23 @@ mod tests {
         let (addr_b, _) = b.mem.unwrap();
         assert!(addr_a.0 < (4u64 << 30) / 8);
         assert!(addr_b.0 >= 4 * ((4u64 << 30) / 8));
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn hand_built_mix_with_bad_name_is_a_setup_error() {
+        let mix = Mix {
+            id: "XX1",
+            class: MixClass::Mixed,
+            benchmarks: ["bwaves"; 8].map(|_| "doom3"),
+        };
+        let Err(err) = mix.build_traces(4 << 30, 7) else {
+            panic!("bad benchmark name must be rejected");
+        };
+        assert!(err.to_string().contains("doom3"));
     }
 }

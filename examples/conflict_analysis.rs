@@ -68,7 +68,7 @@ fn main() {
 
     for scheme in [SchemeKind::Nopf, SchemeKind::Camps] {
         println!("==== scheme: {} ====", scheme.name());
-        let mut v = VaultController::new(0, &cfg, scheme);
+        let mut v = VaultController::new(0, &cfg, scheme).expect("valid config");
         // Two "threads" ping-pong rows 100 and 200 of bank 0 — the exact
         // pathology the Conflict Table profiles. With the default CT
         // evidence of 3, a row is fetched on its second *return* (third

@@ -99,13 +99,13 @@ fn main() {
                 }
             })
             .collect();
-        System::new(&cfg, scheme, traces)
+        System::new(&cfg, scheme, traces).expect("paper-default config")
     };
 
     for scheme in [SchemeKind::Nopf, SchemeKind::Base, SchemeKind::CampsMod] {
         let mut sys = build(scheme);
         sys.warmup(50_000);
-        let r = sys.run(50_000, 10_000_000, "custom");
+        let r = sys.run(50_000, 10_000_000, "custom").expect("custom run");
         println!(
             "{:>10}: geomean IPC {:.3}, conflicts {:>5.1}%, accuracy {:>5.1}%, AMAT {:>5.0} cy",
             scheme.name(),

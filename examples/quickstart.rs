@@ -34,7 +34,10 @@ fn main() {
     });
 
     println!("simulating {mix_id} {:?} under {scheme} …", mix.benchmarks);
-    let result = run_mix(&cfg, mix, scheme, &RunLength::quick(), 42);
+    let result = run_mix(&cfg, mix, scheme, &RunLength::quick(), 42).unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
 
     println!("\n== {} under {} ==", result.mix_id, result.scheme);
     println!("cycles simulated      : {}", result.cycles);

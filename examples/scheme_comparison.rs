@@ -28,7 +28,7 @@ fn main() {
     println!("running {} under {} schemes …", mix.id, schemes.len());
     let results: Vec<RunResult> = schemes
         .par_iter()
-        .map(|&s| run_mix(&cfg, mix, s, &RunLength::quick(), 7))
+        .map(|&s| run_mix(&cfg, mix, s, &RunLength::quick(), 7).expect("quick run"))
         .collect();
 
     let base_perf = results

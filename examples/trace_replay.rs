@@ -27,7 +27,7 @@ fn main() {
     let mix = Mix::by_id("MX1").unwrap();
     for (core, bench) in mix.benchmarks.iter().enumerate() {
         let mut gen = SpecTrace::new(
-            profile_for(bench),
+            profile_for(bench).expect("Table II benchmark"),
             core as u64 * slice,
             slice,
             77 + core as u64,
@@ -49,9 +49,9 @@ fn main() {
                 Box::new(t) as Box<dyn TraceSource>
             })
             .collect();
-        let mut sys = System::new(&cfg, scheme, traces);
+        let mut sys = System::new(&cfg, scheme, traces).expect("paper-default config");
         sys.warmup(30_000);
-        let r = sys.run(30_000, 10_000_000, "replay");
+        let r = sys.run(30_000, 10_000_000, "replay").expect("replay run");
         println!(
             "{:>10}: geomean IPC {:.3}, buffer hits {}, conflicts {:.1}%",
             scheme.name(),

@@ -14,10 +14,13 @@
 //! ```no_run
 //! use camps_sim::prelude::*;
 //!
-//! let cfg = SystemConfig::paper_default();
-//! let mix = Mix::by_id("HM1").unwrap();
-//! let result = run_mix(&cfg, mix, SchemeKind::CampsMod, &RunLength::quick(), 42);
-//! println!("geomean IPC: {:.3}", result.geomean_ipc());
+//! fn main() -> Result<(), SimError> {
+//!     let cfg = SystemConfig::paper_default();
+//!     let mix = Mix::by_id("HM1").unwrap();
+//!     let result = run_mix(&cfg, mix, SchemeKind::CampsMod, &RunLength::quick(), 42)?;
+//!     println!("geomean IPC: {:.3}", result.geomean_ipc());
+//!     Ok(())
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -40,5 +43,6 @@ pub mod prelude {
     pub use camps::system::System;
     pub use camps_prefetch::SchemeKind;
     pub use camps_types::config::SystemConfig;
+    pub use camps_types::{IntegrityError, SimError, TraceError};
     pub use camps_workloads::{Mix, MixClass, ALL_MIXES};
 }

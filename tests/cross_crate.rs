@@ -25,8 +25,8 @@ fn mshr_merging_collapses_same_block_loads() {
     // All cores hammer the same few blocks: MSHRs must merge, and the
     // number of memory reads stays far below the number of core loads.
     let cfg = SystemConfig::small();
-    let mut sys = System::new(&cfg, SchemeKind::Nopf, traces_for(&cfg, 8));
-    let r = sys.run(8_000, 1_000_000, "merge");
+    let mut sys = System::new(&cfg, SchemeKind::Nopf, traces_for(&cfg, 8)).unwrap();
+    let r = sys.run(8_000, 1_000_000, "merge").unwrap();
     let core_loads: u64 = r.core_stats.iter().map(|s| s.loads.get()).sum();
     assert!(
         r.vaults.reads.get() * 4 < core_loads,
@@ -41,8 +41,8 @@ fn all_address_mappings_simulate() {
         let mut cfg = SystemConfig::small();
         cfg.hmc.mapping = scheme;
         cfg.validate().unwrap();
-        let mut sys = System::new(&cfg, SchemeKind::Camps, traces_for(&cfg, 64));
-        let r = sys.run(5_000, 1_000_000, "mapping");
+        let mut sys = System::new(&cfg, SchemeKind::Camps, traces_for(&cfg, 64)).unwrap();
+        let r = sys.run(5_000, 1_000_000, "mapping").unwrap();
         assert!(r.geomean_ipc() > 0.0, "{scheme} produced no progress");
     }
 }
@@ -54,8 +54,8 @@ fn scheduler_and_page_policy_combinations_run() {
             let mut cfg = SystemConfig::small();
             cfg.vault.scheduler = sched;
             cfg.vault.page_policy = page;
-            let mut sys = System::new(&cfg, SchemeKind::CampsMod, traces_for(&cfg, 192));
-            let r = sys.run(5_000, 2_000_000, "combo");
+            let mut sys = System::new(&cfg, SchemeKind::CampsMod, traces_for(&cfg, 192)).unwrap();
+            let r = sys.run(5_000, 2_000_000, "combo").unwrap();
             assert!(r.geomean_ipc() > 0.0, "{sched:?}/{page:?}");
         }
     }
@@ -77,13 +77,13 @@ fn closed_page_has_no_conflicts_open_page_does() {
             })
             .collect()
     };
-    let mut sys = System::new(&open_cfg, SchemeKind::Nopf, mk(&open_cfg));
-    let open = sys.run(2_000, 1_000_000, "open");
+    let mut sys = System::new(&open_cfg, SchemeKind::Nopf, mk(&open_cfg)).unwrap();
+    let open = sys.run(2_000, 1_000_000, "open").unwrap();
 
     let mut closed_cfg = open_cfg.clone();
     closed_cfg.vault.page_policy = PagePolicy::Closed;
-    let mut sys = System::new(&closed_cfg, SchemeKind::Nopf, mk(&closed_cfg));
-    let closed = sys.run(2_000, 1_000_000, "closed");
+    let mut sys = System::new(&closed_cfg, SchemeKind::Nopf, mk(&closed_cfg)).unwrap();
+    let closed = sys.run(2_000, 1_000_000, "closed").unwrap();
 
     assert!(closed.vaults.row_conflicts.get() < open.vaults.row_conflicts.get());
 }
@@ -93,7 +93,7 @@ fn hmc_device_standalone_agrees_with_decode() {
     // Drive the cube directly (no cores/caches) and check request routing
     // against the address mapping.
     let cfg = SystemConfig::paper_default();
-    let mut hmc = HmcDevice::new(&cfg, SchemeKind::Nopf);
+    let mut hmc = HmcDevice::new(&cfg, SchemeKind::Nopf).unwrap();
     let mapping = *hmc.mapping();
     let addr = PhysAddr(0x0ABC_DE40);
     assert!(hmc.submit(MemRequest {
@@ -136,8 +136,8 @@ fn write_heavy_workload_drains_cleanly() {
             Box::new(VecTrace::new(format!("w{c}"), ops)) as Box<dyn TraceSource>
         })
         .collect();
-    let mut sys = System::new(&cfg, SchemeKind::CampsMod, traces);
-    let r = sys.run(6_000, 2_000_000, "writes");
+    let mut sys = System::new(&cfg, SchemeKind::CampsMod, traces).unwrap();
+    let r = sys.run(6_000, 2_000_000, "writes").unwrap();
     assert!(
         r.vaults.writes.get() > 0,
         "stores must reach memory as writes/fills"
@@ -146,12 +146,36 @@ fn write_heavy_workload_drains_cleanly() {
 }
 
 #[test]
+fn audit_ledger_accounts_every_vault_request() {
+    // The core-side auditor feeds the stats-side ledger: after a run the
+    // per-vault injected counts must cover every memory read the vaults
+    // served (reads ⊆ injections; prefetch-buffer hits are served
+    // host-side of DRAM but still enter through the audited submit path).
+    let mut cfg = SystemConfig::small();
+    cfg.integrity.audit = true;
+    let mut sys = System::new(&cfg, SchemeKind::Nopf, traces_for(&cfg, 4096)).unwrap();
+    let r = sys.run(4_000, 1_000_000, "ledger").unwrap();
+    let ledger = sys.memory().audit_ledger();
+    assert_eq!(ledger.vaults.len(), cfg.hmc.vaults as usize);
+    assert!(
+        ledger.injected() >= r.vaults.reads.get(),
+        "ledger {} vs vault reads {}",
+        ledger.injected(),
+        r.vaults.reads.get()
+    );
+    assert!(
+        ledger.completed() <= ledger.injected(),
+        "completions can never outrun injections"
+    );
+}
+
+#[test]
 fn tiny_prefetch_buffer_still_works() {
     let mut cfg = SystemConfig::small();
     cfg.prefetch.entries = 1; // degenerate capacity: constant eviction
     cfg.validate().unwrap();
-    let mut sys = System::new(&cfg, SchemeKind::Base, traces_for(&cfg, 64));
-    let r = sys.run(5_000, 2_000_000, "tiny-buffer");
+    let mut sys = System::new(&cfg, SchemeKind::Base, traces_for(&cfg, 64)).unwrap();
+    let r = sys.run(5_000, 2_000_000, "tiny-buffer").unwrap();
     assert!(r.vaults.prefetches.get() > 0);
     // With one entry, most prefetches die unreferenced — accuracy must
     // still be a sane fraction.

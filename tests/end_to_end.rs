@@ -16,7 +16,7 @@ fn tiny() -> RunLength {
 fn run(mix_id: &str, scheme: SchemeKind) -> RunResult {
     let cfg = SystemConfig::paper_default();
     let mix = Mix::by_id(mix_id).expect("known mix");
-    run_mix(&cfg, mix, scheme, &tiny(), 0xFEED)
+    run_mix(&cfg, mix, scheme, &tiny(), 0xFEED).expect("clean run")
 }
 
 #[test]
@@ -119,8 +119,8 @@ fn runs_are_deterministic() {
 fn different_seeds_change_outcomes() {
     let cfg = SystemConfig::paper_default();
     let mix = Mix::by_id("LM3").unwrap();
-    let a = run_mix(&cfg, mix, SchemeKind::Nopf, &tiny(), 1);
-    let b = run_mix(&cfg, mix, SchemeKind::Nopf, &tiny(), 2);
+    let a = run_mix(&cfg, mix, SchemeKind::Nopf, &tiny(), 1).unwrap();
+    let b = run_mix(&cfg, mix, SchemeKind::Nopf, &tiny(), 2).unwrap();
     assert_ne!(a.cycles, b.cycles, "seeded workloads must differ");
 }
 
@@ -161,4 +161,130 @@ fn energy_accounts_follow_activity() {
     // Precharges can exceed activates by at most the open rows at the end
     // — sanity band, not equality.
     assert!(e.precharges <= e.activates + 512);
+}
+
+#[test]
+fn every_paper_scheme_is_bit_for_bit_reproducible() {
+    // Regression guard for the determinism contract: two runs of the
+    // same (mix, scheme, seed) must produce identical metrics for every
+    // paper scheme, not just one — any hidden global state (hash-map
+    // iteration order, uninitialized counters) shows up here.
+    let cfg = SystemConfig::paper_default();
+    let mix = Mix::by_id("MX1").expect("known mix");
+    let len = RunLength {
+        warmup_instructions: 3_000,
+        instructions: 3_000,
+        max_cycles: 1_000_000,
+    };
+    for scheme in [
+        SchemeKind::Base,
+        SchemeKind::BaseHit,
+        SchemeKind::Mmd,
+        SchemeKind::Camps,
+        SchemeKind::CampsMod,
+    ] {
+        let a = run_mix(&cfg, mix, scheme, &len, 0xD0D0).unwrap();
+        let b = run_mix(&cfg, mix, scheme, &len, 0xD0D0).unwrap();
+        assert_eq!(a.ipc, b.ipc, "{scheme}: IPC diverged");
+        assert_eq!(a.cycles, b.cycles, "{scheme}: cycle count diverged");
+        assert_eq!(a.vaults, b.vaults, "{scheme}: vault stats diverged");
+        assert_eq!(a.amat_mem.to_bits(), b.amat_mem.to_bits(), "{scheme}");
+        assert_eq!(a.energy_nj.to_bits(), b.energy_nj.to_bits(), "{scheme}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integrity layer: fault injection must surface as typed errors, not as
+// silently-wrong numbers (and never as panics).
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncated_trace_file_is_a_typed_error() {
+    use camps_sim::camps_cpu::trace_file::{record, FileTrace};
+    use camps_sim::camps_types::FaultPlan;
+    use camps_sim::camps_workloads::generator::SpecTrace;
+    use camps_sim::camps_workloads::spec::profile_for;
+
+    let dir = std::env::temp_dir().join("camps-fault-traces");
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    let path = dir.join("truncated.camps-trace");
+
+    let mut gen = SpecTrace::new(profile_for("lbm").unwrap(), 0, 1 << 30, 7);
+    record(&mut gen, 256).save(&path).expect("save trace");
+
+    // Corrupt the image the way the fault plan would: chop the tail off.
+    let bytes = std::fs::read(&path).expect("read back");
+    let plan = FaultPlan {
+        trace_truncate_to: 40,
+        ..FaultPlan::default()
+    };
+    std::fs::write(&path, plan.mangle_trace_bytes(bytes)).expect("rewrite");
+
+    let Err(err) = FileTrace::load(&path) else {
+        panic!("a truncated trace must not load");
+    };
+    assert!(
+        matches!(err, SimError::Trace(TraceError::TruncatedRecord { .. })),
+        "got {err}"
+    );
+}
+
+#[test]
+fn stalled_vault_fault_trips_the_watchdog_end_to_end() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.faults.stall_vault = 3;
+    cfg.faults.stall_vault_from = 1;
+    cfg.integrity.watchdog_cycles = 20_000;
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let Err(err) = run_mix(&cfg, mix, SchemeKind::CampsMod, &tiny(), 0xFEED) else {
+        panic!("a dead vault must wedge the run");
+    };
+    let SimError::Watchdog(report) = err else {
+        panic!("expected a watchdog trip, got {err}");
+    };
+    assert_eq!(report.stall_cycles, 20_000);
+    // The diagnostic dump is renderable and names the stalled state.
+    let dump = report.render();
+    assert!(dump.contains("no forward progress"), "{dump}");
+}
+
+#[test]
+fn duplicate_response_fault_is_caught_by_the_auditor() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.integrity.audit = true;
+    cfg.faults.duplicate_response_every = 100;
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let Err(err) = run_mix(&cfg, mix, SchemeKind::CampsMod, &tiny(), 0xFEED) else {
+        panic!("duplicated responses must fail the run");
+    };
+    assert!(
+        matches!(
+            err,
+            SimError::Integrity(IntegrityError::DuplicateCompletion { .. })
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn dropped_request_fault_is_detected() {
+    // A dropped packet either wedges a core (watchdog) or — when the run
+    // still completes — leaves the books unbalanced (lost requests at
+    // drain). Either way the run must NOT return Ok with quietly-wrong
+    // numbers.
+    let mut cfg = SystemConfig::paper_default();
+    cfg.integrity.audit = true;
+    cfg.integrity.watchdog_cycles = 50_000;
+    cfg.faults.drop_request_every = 50;
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let Err(err) = run_mix(&cfg, mix, SchemeKind::CampsMod, &tiny(), 0xFEED) else {
+        panic!("dropped packets must not yield a clean result");
+    };
+    assert!(
+        matches!(
+            err,
+            SimError::Watchdog(_) | SimError::Integrity(IntegrityError::LostRequests { .. })
+        ),
+        "got {err}"
+    );
 }

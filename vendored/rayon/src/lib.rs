@@ -1,0 +1,46 @@
+//! Vendored, offline **sequential** fallback for the `rayon` API surface
+//! this workspace uses (`par_iter`/`into_par_iter`).
+//!
+//! The build environment has no registry access, so experiment sweeps run
+//! on one core here: `into_par_iter()`/`par_iter()` simply return the
+//! standard sequential iterators, which expose the same adapter methods
+//! (`map`, `collect`, …) the callers rely on. Results are identical to a
+//! parallel run — sweeps are embarrassingly parallel and order is
+//! restored by the callers — only wall-clock time differs.
+
+pub mod prelude {
+    //! Drop-in traits mirroring `rayon::prelude`.
+
+    /// `into_par_iter()` for owned collections (sequential fallback).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the standard sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` for borrowed collections (sequential fallback).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Yielded item type.
+        type Item;
+
+        /// Returns the standard sequential iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

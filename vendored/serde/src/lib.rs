@@ -1,0 +1,389 @@
+//! Vendored, offline subset of the `serde` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal name-compatible implementation of the
+//! pieces it actually uses. Serialization is value-based: [`Serialize`]
+//! lowers a type to a [`value::Value`] tree and [`Deserialize`] rebuilds
+//! it from one. The companion `serde_derive` crate generates impls for
+//! the shapes this workspace contains (named-field structs, unit-variant
+//! enums, and tuple structs).
+//!
+//! This is **not** upstream serde: there is no `Serializer`/`Deserializer`
+//! visitor machinery, and only the `#[serde(default)]` field attribute is
+//! honored. Formats (`serde_json`) consume the `Value` tree directly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The self-describing intermediate representation.
+
+    /// A serialized value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Absent / JSON `null`.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Non-negative integer.
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Ordered sequence.
+        Seq(Vec<Value>),
+        /// Ordered string-keyed map (insertion order preserved).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The entries of a map value, or `None` for any other shape.
+        #[must_use]
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// The string payload, or `None` for any other shape.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// First value stored under `key` in `entries` (map-field lookup).
+    #[must_use]
+    pub fn lookup<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+pub mod de {
+    //! Deserialization errors.
+
+    /// A deserialization failure with a human-readable message.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl Error {
+        /// An error carrying `msg`.
+        pub fn custom(msg: impl std::fmt::Display) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use value::Value;
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting shape/range mismatches as errors.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let raw = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    _ => {
+                        return Err(de::Error::custom(format!(
+                            "expected unsigned integer, got {v:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    de::Error::custom(format!(
+                        "{raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::U64(*self)
+    }
+}
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match *v {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            _ => Err(de::Error::custom(format!(
+                "expected unsigned integer, got {v:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        u64::from_value(v)
+            .and_then(|x| usize::try_from(x).map_err(|_| de::Error::custom("usize overflow")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let raw = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => i64::try_from(x)
+                        .map_err(|_| de::Error::custom("integer overflow"))?,
+                    _ => {
+                        return Err(de::Error::custom(format!(
+                            "expected integer, got {v:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    de::Error::custom(format!(
+                        "{raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self)
+    }
+}
+impl Deserialize for i64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match *v {
+            Value::I64(x) => Ok(x),
+            Value::U64(x) => i64::try_from(x).map_err(|_| de::Error::custom("integer overflow")),
+            _ => Err(de::Error::custom(format!("expected integer, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        i64::from_value(v)
+            .and_then(|x| isize::try_from(x).map_err(|_| de::Error::custom("isize overflow")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            _ => Err(de::Error::custom(format!("expected number, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(de::Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::custom(format!("expected sequence, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::Error::custom(format!("expected sequence, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let Value::Seq(items) = v else {
+                    return Err(de::Error::custom(format!(
+                        "expected sequence for tuple, got {v:?}"
+                    )));
+                };
+                Ok(($($name::from_value(
+                    items.get($idx).unwrap_or(&Value::Null)
+                )?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Rebuilds a `&'static str` by leaking the parsed string. Only
+    /// static-lifetime string fields (benchmark names) hit this path,
+    /// and only if such a struct is ever deserialized — an explicit,
+    /// bounded trade-off so derive on those structs keeps working
+    /// without upstream serde's borrowed-lifetime machinery.
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| de::Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}

@@ -1,0 +1,366 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the offline serde
+//! subset.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input `TokenStream` is walked by hand and the generated impl is built
+//! as a string, then re-parsed. Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields (honoring `#[serde(default)]`),
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string),
+//! * tuple structs (newtypes pass the inner value through; wider tuples
+//!   become sequences).
+//!
+//! Generics and data-carrying enum variants are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    Named {
+        name: String,
+        /// `(field_name, has_serde_default)`
+        fields: Vec<(String, bool)>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    UnitEnum {
+        name: String,
+        variants: Vec<String>,
+    },
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape).parse().expect("generated impl must tokenize"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error must tokenize"),
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility ahead of `struct`/`enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                // `pub` (possibly `pub(crate)` — the paren group is a
+                // separate token consumed by the loop's fallthrough).
+            }
+            Some(_) => {}
+            None => return Err("serde derive: unexpected end of input".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    match tokens.next() {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                parse_unit_enum(name, body.stream())
+            } else {
+                parse_named_struct(name, body.stream())
+            }
+        }
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::Tuple {
+                name,
+                arity: count_top_level_fields(body.stream()),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde derive: generic type `{name}` is not supported by the vendored derive"
+        )),
+        other => Err(format!(
+            "serde derive: unsupported item body for `{name}`: {other:?}"
+        )),
+    }
+}
+
+fn parse_named_struct(name: String, body: TokenStream) -> Result<Shape, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Field attributes: look for `#[serde(default)]`.
+        let mut has_default = false;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(attr)) = tokens.next() {
+                        if attr_is_serde_default(&attr.stream()) {
+                            has_default = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    // Swallow a `(crate)`-style restriction if present.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break; // trailing comma / end of body
+        };
+        fields.push((field.to_string(), has_default));
+        // Skip `: Type` up to the next top-level comma. Parens/brackets
+        // arrive as single Group tokens; only `<`/`>` need depth tracking.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(Shape::Named { name, fields })
+}
+
+fn parse_unit_enum(name: String, body: TokenStream) -> Result<Shape, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // attribute body
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match tokens.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        tokens.next();
+                    }
+                    Some(_) => {
+                        return Err(format!(
+                            "serde derive: enum `{name}` has a data-carrying variant \
+                             (unsupported by the vendored derive)"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde derive: unexpected token in enum `{name}`: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(Shape::UnitEnum { name, variants })
+}
+
+/// True for the token stream of a `[serde(default)]` attribute group.
+fn attr_is_serde_default(attr: &TokenStream) -> bool {
+    let mut it = attr.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut entries = String::new();
+            for (field, _) in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from({field:?}), \
+                     ::serde::Serialize::to_value(&self.{field})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Seq(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Str(::std::string::String::from(\
+                             match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for (field, has_default) in fields {
+                let missing = if *has_default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"missing field `{field}` in `{name}`\"))"
+                    )
+                };
+                inits.push_str(&format!(
+                    "{field}: match ::serde::value::lookup(__map, {field:?}) {{\n\
+                         ::std::option::Option::Some(__x) => \
+                             ::serde::Deserialize::from_value(__x)?,\n\
+                         ::std::option::Option::None => {missing},\n\
+                     }},"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let __map = __v.as_map().ok_or_else(|| \
+                             ::serde::de::Error::custom(\
+                                 \"expected map for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::value::Value) \
+                     -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     ::std::result::Result::Ok(Self(\
+                         ::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         __items.get({i}).unwrap_or(&::serde::value::Value::Null))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         let ::serde::value::Value::Seq(__items) = __v else {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::de::Error::custom(\
+                                     \"expected sequence for `{name}`\"));\n\
+                         }};\n\
+                         ::std::result::Result::Ok(Self({items}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some({v:?}) => \
+                             ::std::result::Result::Ok(Self::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::de::Error::custom(::std::format!(\
+                                     \"unknown `{name}` variant {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
