@@ -1,0 +1,165 @@
+//! `soak` — long-running robustness harness.
+//!
+//! Loops (mix, scheme) runs at miniature scale under randomly chosen
+//! fault-injection plans with rollback-and-retry recovery enabled, until
+//! a wall-clock budget expires. The harness fails (exits nonzero) if any
+//! run aborts without recovering, and asserts that the serialized
+//! machine state stays bounded across iterations (no state leak across
+//! rollbacks).
+//!
+//! ```text
+//! SOAK_SECONDS=90 SOAK_SEED=1 cargo run --release -p camps-bench --bin soak
+//! ```
+
+use camps::recovery::{run_with_recovery, snapshot_to_string, RecoveryPolicy};
+use camps::System;
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_workloads::ALL_MIXES;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Snapshot-size ceiling per iteration. The small() machine serializes
+/// to low single-digit MB; 64 MB means runaway state growth.
+const MAX_SNAPSHOT_BYTES: usize = 64 << 20;
+
+/// xorshift64* — deterministic, dependency-free choice of faults.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let budget = Duration::from_secs(env_u64("SOAK_SECONDS", 90));
+    let seed = env_u64("SOAK_SEED", 0xCA3B5);
+    let deadline = Instant::now() + budget;
+    let mut rng = XorShift(seed | 1);
+
+    let mut runs = 0u64;
+    let mut faulty_runs = 0u64;
+    let mut recovered_runs = 0u64;
+    let mut rollbacks = 0u64;
+    let mut max_snapshot = 0usize;
+
+    while Instant::now() < deadline {
+        // paper_default: the Table II mixes need its full capacity.
+        // Tight (but legal) watchdog so stalls are detected quickly.
+        let mut cfg = SystemConfig::paper_default();
+        cfg.integrity.audit = true;
+        cfg.integrity.watchdog_cycles = cfg.worst_case_access_cycles().max(5_000);
+        let fault = rng.below(3);
+        match fault {
+            0 => {
+                // Wedge one vault mid-run: recovers via the watchdog.
+                cfg.faults.stall_vault = u32::try_from(rng.below(u64::from(cfg.hmc.vaults)))
+                    .expect("invariant: vault count fits u32");
+                cfg.faults.stall_vault_from = 500 + rng.below(3_000);
+            }
+            1 => {
+                // Duplicate responses: recovers via the audit ledger.
+                cfg.faults.duplicate_response_every = 20 + rng.below(200);
+            }
+            _ => {} // clean control run
+        }
+        let scheme = SchemeKind::ALL[rng.below(SchemeKind::ALL.len() as u64) as usize];
+        let mix = &ALL_MIXES[rng.below(ALL_MIXES.len() as u64) as usize];
+
+        let capacity = match cfg.hmc.address_mapping() {
+            Ok(m) => m.capacity_bytes(),
+            Err(e) => {
+                eprintln!("soak: bad config: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let traces = match mix.build_traces(capacity, seed ^ runs) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("soak: trace build failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut sys = match System::new(&cfg, scheme, traces) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("soak: setup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let policy = RecoveryPolicy {
+            max_recoveries: 3,
+            checkpoint_every: Some(2_000),
+            checkpoint_path: None,
+        };
+        match run_with_recovery(&mut sys, 5_000, 2_000_000, mix.id, seed, &policy) {
+            Ok((result, report)) => {
+                runs += 1;
+                if fault != 2 {
+                    faulty_runs += 1;
+                }
+                if report.recovered() {
+                    recovered_runs += 1;
+                    rollbacks += report.events.len() as u64;
+                }
+                if result.cycles == 0 {
+                    eprintln!("soak: {} {scheme:?} produced an empty run", mix.id);
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "soak: UNRECOVERED abort on {} {scheme:?} (fault class {fault}): {e}",
+                    mix.id
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // A drained machine must serialize to a bounded snapshot: growth
+        // here would mean rollbacks leak state.
+        let run = sys.run_begin(0, 0);
+        match snapshot_to_string(&sys, &run, mix.id, seed) {
+            Ok(text) => {
+                max_snapshot = max_snapshot.max(text.len());
+                if text.len() > MAX_SNAPSHOT_BYTES {
+                    eprintln!(
+                        "soak: snapshot grew to {} bytes (cap {MAX_SNAPSHOT_BYTES})",
+                        text.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("soak: post-run snapshot failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "soak: {runs} runs ({faulty_runs} faulted, {recovered_runs} recovered via {rollbacks} \
+         rollbacks), max snapshot {max_snapshot} bytes, 0 unrecovered aborts"
+    );
+    if runs == 0 {
+        eprintln!("soak: budget too small to finish a single run");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,9 @@
 use camps_stats::{Counter, Ratio};
 use camps_types::addr::PhysAddr;
 use camps_types::config::CacheLevelConfig;
-use serde::{Deserialize, Serialize};
+use camps_types::snapshot::{decode, Snapshot};
+use serde::value::Value;
+use serde::{de, Deserialize, Serialize};
 
 /// One cache line's bookkeeping (tags only; data is not simulated).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +140,50 @@ impl Cache {
     #[must_use]
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+impl Snapshot for Cache {
+    fn save_state(&self) -> Value {
+        // Geometry (`ways`, `line_bits`, `set_mask`) is derived from the
+        // config; only tag contents and statistics are captured. Lines
+        // serialize as `(tag, dirty)` pairs, MRU-first per set.
+        let sets: Vec<Vec<(u64, bool)>> = self
+            .sets
+            .iter()
+            .map(|s| s.iter().map(|l| (l.tag, l.dirty)).collect())
+            .collect();
+        Value::Map(vec![
+            ("sets".into(), sets.to_value()),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let sets: Vec<Vec<(u64, bool)>> = decode(state, "sets")?;
+        if sets.len() != self.sets.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} sets for a {}-set cache",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        if sets.iter().any(|s| s.len() > self.ways) {
+            return Err(de::Error::custom(format!(
+                "snapshot: set exceeds {} ways",
+                self.ways
+            )));
+        }
+        self.sets = sets
+            .into_iter()
+            .map(|s| {
+                s.into_iter()
+                    .map(|(tag, dirty)| Line { tag, dirty })
+                    .collect()
+            })
+            .collect();
+        self.stats = decode(state, "stats")?;
+        Ok(())
     }
 }
 

@@ -5,6 +5,9 @@
 //! flight, so one memory request serves every waiter.
 
 use camps_types::addr::PhysAddr;
+use camps_types::snapshot::{decode, Snapshot};
+use serde::value::Value;
+use serde::{de, Serialize as _};
 use std::collections::HashMap;
 
 /// Result of trying to allocate an MSHR for a miss.
@@ -104,6 +107,38 @@ impl MshrFile {
     }
 }
 
+impl Snapshot for MshrFile {
+    fn save_state(&self) -> Value {
+        // In-flight blocks sorted by address for deterministic output;
+        // `capacity`/`line_mask` are construction inputs.
+        let mut entries: Vec<(u64, Vec<u64>)> =
+            self.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        Value::Map(vec![
+            ("entries".into(), entries.to_value()),
+            ("peak".into(), self.peak.to_value()),
+            ("merges".into(), self.merges.to_value()),
+            ("stalls".into(), self.stalls.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let entries: Vec<(u64, Vec<u64>)> = decode(state, "entries")?;
+        if entries.len() > self.capacity {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} in-flight blocks exceed {} MSHRs",
+                entries.len(),
+                self.capacity
+            )));
+        }
+        self.entries = entries.into_iter().collect();
+        self.peak = decode(state, "peak")?;
+        self.merges = decode(state, "merges")?;
+        self.stalls = decode(state, "stalls")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +186,23 @@ mod tests {
         m.allocate(PhysAddr(0x100), 1);
         assert!(m.contains(PhysAddr(0x13F)));
         assert!(!m.contains(PhysAddr(0x140)));
+    }
+
+    #[test]
+    fn snapshot_round_trips_in_flight_blocks() {
+        let mut a = MshrFile::new(4, 64);
+        a.allocate(PhysAddr(0x100), 1);
+        a.allocate(PhysAddr(0x120), 2); // merged waiter
+        a.allocate(PhysAddr(0x200), 3);
+        let state = a.save_state();
+        let mut b = MshrFile::new(4, 64);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.in_flight(), 2);
+        assert_eq!(b.complete(PhysAddr(0x100)), vec![1, 2]);
+        assert_eq!(b.complete(PhysAddr(0x200)), vec![3]);
+        assert_eq!(a.stats(), (2, 1, 0));
+        // A smaller file cannot hold the snapshot's in-flight set.
+        let mut tiny = MshrFile::new(1, 64);
+        assert!(tiny.restore_state(&state).is_err());
     }
 }

@@ -21,6 +21,9 @@
 use camps_stats::AuditLedger;
 use camps_types::error::IntegrityError;
 use camps_types::request::RequestId;
+use camps_types::snapshot::{decode, Snapshot};
+use serde::value::Value;
+use serde::{de, Serialize as _};
 use std::collections::{HashMap, HashSet};
 
 /// Request-conservation checker (see the module docs).
@@ -110,6 +113,13 @@ impl RequestAuditor {
         self.violation.take()
     }
 
+    /// Latches a violation detected outside the auditor itself (e.g. a
+    /// response naming a nonexistent core). First violation wins, like
+    /// the internal checks.
+    pub fn latch_violation(&mut self, violation: IntegrityError) {
+        self.latch(violation);
+    }
+
     /// Per-vault conservation counts.
     #[must_use]
     pub fn ledger(&self) -> &AuditLedger {
@@ -120,6 +130,42 @@ impl RequestAuditor {
         if self.violation.is_none() {
             self.violation = Some(violation);
         }
+    }
+}
+
+impl Snapshot for RequestAuditor {
+    fn save_state(&self) -> Value {
+        // `enabled` is a construction input. A latched `violation` is
+        // never present at snapshot time: the run loop polls and aborts
+        // before a checkpoint could be taken, so it is not serialized.
+        let mut outstanding: Vec<(u64, usize)> =
+            self.outstanding.iter().map(|(&id, &v)| (id, v)).collect();
+        outstanding.sort_unstable();
+        let mut completed: Vec<u64> = self.completed.iter().copied().collect();
+        completed.sort_unstable();
+        Value::Map(vec![
+            ("outstanding".into(), outstanding.to_value()),
+            ("completed".into(), completed.to_value()),
+            ("ledger".into(), self.ledger.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let outstanding: Vec<(u64, usize)> = decode(state, "outstanding")?;
+        let completed: Vec<u64> = decode(state, "completed")?;
+        let ledger: AuditLedger = decode(state, "ledger")?;
+        if ledger.vaults.len() != self.ledger.vaults.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: ledger covers {} vaults, auditor expects {}",
+                ledger.vaults.len(),
+                self.ledger.vaults.len()
+            )));
+        }
+        self.outstanding = outstanding.into_iter().collect();
+        self.completed = completed.into_iter().collect();
+        self.ledger = ledger;
+        self.violation = None;
+        Ok(())
     }
 }
 
@@ -206,6 +252,67 @@ mod tests {
             Some(IntegrityError::UnknownCompletion { .. })
         ));
         assert!(a.take_violation().is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips_in_flight_requests() {
+        let mut a = auditor();
+        a.record_injected(RequestId(1), 0);
+        a.record_injected(RequestId(2), 3);
+        a.record_injected(RequestId(3), 1);
+        a.record_completed(RequestId(1));
+        let state = a.save_state();
+        let mut b = auditor();
+        b.restore_state(&state).unwrap();
+        // Both in-flight requests complete after the restore: clean drain.
+        b.record_completed(RequestId(2));
+        b.record_completed(RequestId(3));
+        b.check_drained();
+        assert!(b.take_violation().is_none());
+        assert!(b.ledger().balanced());
+        assert_eq!(b.ledger().injected(), 3);
+        // Id 1 already completed before the snapshot; completing it again
+        // in the restored auditor is still a double completion.
+        b.record_completed(RequestId(1));
+        assert!(matches!(
+            b.take_violation(),
+            Some(IntegrityError::DuplicateCompletion { id: RequestId(1) })
+        ));
+    }
+
+    #[test]
+    fn restore_that_drops_an_in_flight_request_surfaces_at_drain() {
+        let mut a = auditor();
+        a.record_injected(RequestId(10), 0);
+        a.record_injected(RequestId(11), 2);
+        let state = a.save_state();
+        let mut b = auditor();
+        b.restore_state(&state).unwrap();
+        // The restored run only ever answers request 10 — request 11 was
+        // lost across the restore boundary. The existing lost-request
+        // check must catch it at drain.
+        b.record_completed(RequestId(10));
+        b.check_drained();
+        match b.take_violation() {
+            Some(IntegrityError::LostRequests {
+                outstanding,
+                examples,
+            }) => {
+                assert_eq!(outstanding, 1);
+                assert_eq!(examples, vec![RequestId(11)]);
+            }
+            other => panic!("expected LostRequests, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_ledger_width() {
+        let mut a = auditor(); // 4 vaults
+        a.record_injected(RequestId(1), 0);
+        let state = a.save_state();
+        let mut b = RequestAuditor::new(true, 8);
+        let err = b.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("vaults"), "got: {err}");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! camps run   <MIX> <SCHEME> [--scale quick|standard|thorough] [--seed N] [--json]
+//!             [--checkpoint-every CYCLES] [--checkpoint-path FILE] [--max-recoveries N]
+//! camps run   --resume <FILE> [--json]   # continue a checkpointed run
 //! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
 //! camps list                    # available mixes, schemes, benchmarks
 //! camps config                  # dump the Table I configuration as JSON
@@ -9,12 +11,20 @@
 //!
 //! The JSON output is the serialized [`camps::metrics::RunResult`] —
 //! machine-consumable for plotting pipelines.
+//!
+//! `--checkpoint-every` snapshots the run to `--checkpoint-path`
+//! (default `camps.ckpt.json`) every N cycles; `--resume` continues from
+//! such a file. `--max-recoveries` bounds rollback-and-retry attempts on
+//! watchdog/integrity failures (0, the default, disables recovery, so
+//! the original typed error propagates and the process exits nonzero).
 
-use camps::experiment::{run_matrix, run_mix, RunLength};
+use camps::experiment::{resume_mix, run_matrix, run_mix, run_mix_recoverable, RunLength};
 use camps::metrics::{average_speedup, speedup_table, RunResult};
+use camps::recovery::RecoveryPolicy;
 use camps_prefetch::SchemeKind;
 use camps_types::config::SystemConfig;
 use camps_workloads::{Mix, ALL_MIXES};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Parsed command-line options shared by `run` and `sweep`.
@@ -24,6 +34,10 @@ struct Options {
     json: bool,
     schemes: Vec<SchemeKind>,
     mixes: Vec<&'static Mix>,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<PathBuf>,
+    max_recoveries: u32,
+    resume: Option<PathBuf>,
 }
 
 fn parse_scheme(s: &str) -> Option<SchemeKind> {
@@ -45,6 +59,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json: false,
         schemes: SchemeKind::ALL.to_vec(),
         mixes: ALL_MIXES.iter().collect(),
+        checkpoint_every: None,
+        checkpoint_path: None,
+        max_recoveries: 0,
+        resume: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -77,6 +95,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .split(',')
                     .map(|m| Mix::by_id(m).ok_or_else(|| format!("unknown mix `{m}`")))
                     .collect::<Result<_, _>>()?;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--checkpoint-every needs a cycle count")?,
+                );
+            }
+            "--checkpoint-path" => {
+                opts.checkpoint_path = Some(PathBuf::from(
+                    it.next().ok_or("--checkpoint-path needs a file")?,
+                ));
+            }
+            "--max-recoveries" => {
+                opts.max_recoveries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-recoveries needs a number")?;
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(it.next().ok_or("--resume needs a file")?));
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -117,30 +156,79 @@ fn main() -> ExitCode {
     let cfg = SystemConfig::paper_default();
     match args.first().map(String::as_str) {
         Some("run") => {
-            if args.len() < 3 {
-                eprintln!("usage: camps run <MIX> <SCHEME> [options]");
-                return ExitCode::FAILURE;
-            }
-            let Some(mix) = Mix::by_id(&args[1]) else {
-                eprintln!("unknown mix `{}` (try `camps list`)", args[1]);
-                return ExitCode::FAILURE;
+            // `camps run --resume <FILE>` takes mix/scheme/seed from the
+            // snapshot manifest, so the positionals are optional there.
+            let flags_only = args.get(1).is_some_and(|a| a.starts_with("--"));
+            let (mix_scheme, rest) = if flags_only {
+                (None, &args[1..])
+            } else {
+                if args.len() < 3 {
+                    eprintln!(
+                        "usage: camps run <MIX> <SCHEME> [options] | camps run --resume <FILE>"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                let Some(mix) = Mix::by_id(&args[1]) else {
+                    eprintln!("unknown mix `{}` (try `camps list`)", args[1]);
+                    return ExitCode::FAILURE;
+                };
+                let Some(scheme) = parse_scheme(&args[2]) else {
+                    eprintln!("unknown scheme `{}` (try `camps list`)", args[2]);
+                    return ExitCode::FAILURE;
+                };
+                (Some((mix, scheme)), &args[3..])
             };
-            let Some(scheme) = parse_scheme(&args[2]) else {
-                eprintln!("unknown scheme `{}` (try `camps list`)", args[2]);
-                return ExitCode::FAILURE;
-            };
-            let opts = match parse_options(&args[3..]) {
+            let opts = match parse_options(rest) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let result = match run_mix(&cfg, mix, scheme, &opts.scale, opts.seed) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("camps: run failed: {e}");
-                    return ExitCode::FAILURE;
+            if let Some(path) = &opts.resume {
+                let result = match resume_mix(&cfg, path) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("camps: resume failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                return emit(&[result], opts.json);
+            }
+            let Some((mix, scheme)) = mix_scheme else {
+                eprintln!("camps run needs <MIX> <SCHEME>, or --resume <FILE>");
+                return ExitCode::FAILURE;
+            };
+            let wants_recovery = opts.max_recoveries > 0 || opts.checkpoint_every.is_some();
+            let result = if wants_recovery {
+                let policy = RecoveryPolicy {
+                    max_recoveries: opts.max_recoveries,
+                    checkpoint_every: opts.checkpoint_every,
+                    checkpoint_path: opts.checkpoint_every.is_some().then(|| {
+                        opts.checkpoint_path
+                            .clone()
+                            .unwrap_or_else(|| PathBuf::from("camps.ckpt.json"))
+                    }),
+                };
+                match run_mix_recoverable(&cfg, mix, scheme, &opts.scale, opts.seed, &policy) {
+                    Ok((r, report)) => {
+                        if report.recovered() || report.checkpoints_taken > 0 {
+                            eprint!("{}", report.render());
+                        }
+                        r
+                    }
+                    Err(e) => {
+                        eprintln!("camps: run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match run_mix(&cfg, mix, scheme, &opts.scale, opts.seed) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("camps: run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             emit(&[result], opts.json)
@@ -185,6 +273,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: camps <run|sweep|list|config> …\n\
                  \n  camps run HM1 campsmod --scale quick --json\
+                 \n  camps run HM1 campsmod --checkpoint-every 1000000 --max-recoveries 3\
+                 \n  camps run --resume camps.ckpt.json\
                  \n  camps sweep --mixes HM1,LM1 --schemes base,campsmod\
                  \n  camps list | camps config"
             );

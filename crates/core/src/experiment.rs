@@ -4,6 +4,9 @@
 //! sweeps fan the independent runs out over all host cores with rayon.
 
 use crate::metrics::RunResult;
+use crate::recovery::{
+    read_snapshot, restore_run, run_with_recovery, scheme_from_name, RecoveryPolicy, RecoveryReport,
+};
 use crate::system::System;
 use camps_prefetch::SchemeKind;
 use camps_types::clock::Cycle;
@@ -12,6 +15,7 @@ use camps_types::error::SimError;
 use camps_workloads::Mix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// How long to warm up and measure, mirroring the paper's methodology
 /// (§4.1: fast-forward, warm caches, then detailed simulation) at
@@ -78,6 +82,65 @@ pub fn run_mix(
     sys.run(len.instructions, len.max_cycles, mix.id)
 }
 
+/// Like [`run_mix`], but driven through the rollback-and-retry recovery
+/// loop: periodic checkpoints per `policy`, rollback on watchdog trips
+/// and integrity violations, and a [`RecoveryReport`] describing what
+/// the driver did.
+///
+/// # Errors
+/// As [`run_mix`], plus [`SimError::Snapshot`] for checkpoint I/O
+/// failures; the original run error propagates when the recovery budget
+/// is exhausted.
+pub fn run_mix_recoverable(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    scheme: SchemeKind,
+    len: &RunLength,
+    seed: u64,
+    policy: &RecoveryPolicy,
+) -> Result<(RunResult, RecoveryReport), SimError> {
+    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let traces = mix.build_traces(capacity, seed)?;
+    let mut sys = System::new(cfg, scheme, traces)?;
+    sys.warmup(len.warmup_instructions);
+    run_with_recovery(
+        &mut sys,
+        len.instructions,
+        len.max_cycles,
+        mix.id,
+        seed,
+        policy,
+    )
+}
+
+/// Resumes a checkpointed run from `path` and drives it to completion.
+///
+/// The machine is rebuilt from `cfg` plus the snapshot manifest's mix,
+/// scheme, and seed, the checkpointed state is overlaid, and the run
+/// continues from the checkpoint cycle. Warmup is skipped — the snapshot
+/// already contains the warmed machine. `cfg` must match the snapshot's
+/// config hash.
+///
+/// # Errors
+/// [`SimError::Snapshot`] for unreadable/corrupt snapshots or a
+/// mismatched config/mix/scheme; then anything the continued run itself
+/// returns.
+pub fn resume_mix(cfg: &SystemConfig, path: &Path) -> Result<RunResult, SimError> {
+    let (manifest, state) = read_snapshot(path)?;
+    let mix = Mix::by_id(&manifest.mix_id).ok_or_else(|| SimError::Snapshot {
+        reason: format!("snapshot names unknown mix `{}`", manifest.mix_id),
+    })?;
+    let scheme = scheme_from_name(&manifest.scheme)?;
+    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let traces = mix.build_traces(capacity, manifest.seed)?;
+    let mut sys = System::new(cfg, scheme, traces)?;
+    // Placeholder run bookkeeping; restore_run overwrites every field.
+    let mut run = sys.run_begin(0, 0);
+    restore_run(&mut sys, &mut run, &manifest, &state)?;
+    while sys.run_step(&mut run)? {}
+    sys.run_finish(&run, mix.id)
+}
+
 /// Runs the full cross product `mixes × schemes` in parallel (rayon).
 /// Results come back grouped by mix, schemes in the given order.
 ///
@@ -133,6 +196,66 @@ mod tests {
         );
         assert_eq!(camps.mix_id, "HM1");
         assert_eq!(camps.ipc.len(), 8);
+    }
+
+    #[test]
+    fn resumed_run_matches_the_uninterrupted_run() {
+        let cfg = SystemConfig::paper_default();
+        let len = RunLength {
+            warmup_instructions: 2_000,
+            instructions: 8_000,
+            max_cycles: 2_000_000,
+        };
+        let mix = &ALL_MIXES[0];
+        let dir = std::env::temp_dir().join("camps-experiment-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.ckpt.json");
+        let policy = RecoveryPolicy {
+            max_recoveries: 0,
+            checkpoint_every: Some(10_000),
+            checkpoint_path: Some(path.clone()),
+        };
+        let (full, report) =
+            run_mix_recoverable(&cfg, mix, SchemeKind::Camps, &len, 3, &policy).unwrap();
+        assert!(
+            report.checkpoints_taken > 0,
+            "run must leave a checkpoint behind"
+        );
+        // Rebuild from the last on-disk checkpoint and continue: final
+        // stats must be bit-identical to the uninterrupted run.
+        let resumed = resume_mix(&cfg, &path).unwrap();
+        assert_eq!(full.ipc, resumed.ipc);
+        assert_eq!(full.cycles, resumed.cycles);
+        assert_eq!(full.vaults, resumed.vaults);
+        assert_eq!(full.amat_mem, resumed.amat_mem);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_drifted_config() {
+        let cfg = SystemConfig::paper_default();
+        let len = RunLength {
+            warmup_instructions: 1_000,
+            instructions: 2_000,
+            max_cycles: 1_000_000,
+        };
+        let dir = std::env::temp_dir().join("camps-experiment-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drift.ckpt.json");
+        let policy = RecoveryPolicy {
+            max_recoveries: 0,
+            checkpoint_every: Some(5_000),
+            checkpoint_path: Some(path.clone()),
+        };
+        run_mix_recoverable(&cfg, &ALL_MIXES[0], SchemeKind::Nopf, &len, 1, &policy).unwrap();
+        let mut drifted = cfg.clone();
+        drifted.prefetch.entries *= 2;
+        let err = resume_mix(&drifted, &path).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Snapshot { reason } if reason.contains("configuration")),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

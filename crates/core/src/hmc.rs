@@ -14,7 +14,10 @@ use camps_types::clock::Cycle;
 use camps_types::config::{FaultPlan, SystemConfig};
 use camps_types::error::{SimError, VaultSnapshot};
 use camps_types::request::{MemRequest, MemResponse};
+use camps_types::snapshot::{decode, field, Snapshot};
 use camps_vault::{VaultController, VaultStats};
+use serde::value::Value;
+use serde::{de, Serialize as _};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -303,6 +306,12 @@ impl HmcDevice {
         self.resp_links.tokens_free()
     }
 
+    /// Replaces the fault-injection schedule (the recovery driver uses
+    /// this to quarantine a misbehaving plan after a rollback).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
     /// Occupancy snapshots of every vault, with the host-side retry-queue
     /// depths filled in (watchdog diagnostics).
     #[must_use]
@@ -316,6 +325,91 @@ impl HmcDevice {
                 snap
             })
             .collect()
+    }
+}
+
+impl Snapshot for HmcDevice {
+    fn save_state(&self) -> Value {
+        // `mapping`, `block_bytes`, `link_cfg`, and `faults` are
+        // construction inputs re-derived from the config on restore;
+        // `vault_out` is intra-tick scratch, empty between ticks. The
+        // in-flight heaps drain to ascending `(cycle, seq, ..)` vectors so
+        // the encoding is deterministic regardless of heap internals.
+        let mut inflight_req: Vec<(Cycle, u64, Packet)> =
+            self.inflight_req.iter().map(|Reverse(t)| *t).collect();
+        inflight_req.sort_unstable();
+        let mut inflight_resp: Vec<(Cycle, u64, MemResponse)> =
+            self.inflight_resp.iter().map(|Reverse(t)| *t).collect();
+        inflight_resp.sort_unstable();
+        let mut token_returns: Vec<(Cycle, usize, u32, bool)> =
+            self.token_returns.iter().map(|Reverse(t)| *t).collect();
+        token_returns.sort_unstable();
+        let vaults: Vec<Value> = self.vaults.iter().map(Snapshot::save_state).collect();
+        Value::Map(vec![
+            ("req_links".into(), self.req_links.to_value()),
+            ("resp_links".into(), self.resp_links.to_value()),
+            ("req_xbar".into(), self.req_xbar.to_value()),
+            ("resp_xbar".into(), self.resp_xbar.to_value()),
+            ("vaults".into(), Value::Seq(vaults)),
+            ("host_queue".into(), self.host_queue.to_value()),
+            ("inflight_req".into(), inflight_req.to_value()),
+            ("vault_retry".into(), self.vault_retry.to_value()),
+            ("inflight_resp".into(), inflight_resp.to_value()),
+            ("resp_queue".into(), self.resp_queue.to_value()),
+            ("token_returns".into(), token_returns.to_value()),
+            ("seq".into(), self.seq.to_value()),
+            ("req_deliveries".into(), self.req_deliveries.to_value()),
+            ("resp_deliveries".into(), self.resp_deliveries.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let Value::Seq(vault_states) = field(state, "vaults")? else {
+            return Err(de::Error::custom("snapshot: `vaults` is not a sequence"));
+        };
+        if vault_states.len() != self.vaults.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} vault states for a {}-vault cube",
+                vault_states.len(),
+                self.vaults.len()
+            )));
+        }
+        let vault_retry: Vec<VecDeque<MemRequest>> = decode(state, "vault_retry")?;
+        if vault_retry.len() != self.vault_retry.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} retry queues for a {}-vault cube",
+                vault_retry.len(),
+                self.vault_retry.len()
+            )));
+        }
+        let host_queue: VecDeque<MemRequest> = decode(state, "host_queue")?;
+        if host_queue.len() > HOST_QUEUE_DEPTH {
+            return Err(de::Error::custom(format!(
+                "snapshot: host queue holds {} requests (depth {HOST_QUEUE_DEPTH})",
+                host_queue.len()
+            )));
+        }
+        for (vault, vs) in self.vaults.iter_mut().zip(vault_states) {
+            vault.restore_state(vs)?;
+        }
+        self.req_links = decode(state, "req_links")?;
+        self.resp_links = decode(state, "resp_links")?;
+        self.req_xbar = decode(state, "req_xbar")?;
+        self.resp_xbar = decode(state, "resp_xbar")?;
+        self.host_queue = host_queue;
+        self.vault_retry = vault_retry;
+        let inflight_req: Vec<(Cycle, u64, Packet)> = decode(state, "inflight_req")?;
+        self.inflight_req = inflight_req.into_iter().map(Reverse).collect();
+        let inflight_resp: Vec<(Cycle, u64, MemResponse)> = decode(state, "inflight_resp")?;
+        self.inflight_resp = inflight_resp.into_iter().map(Reverse).collect();
+        self.resp_queue = decode(state, "resp_queue")?;
+        let token_returns: Vec<(Cycle, usize, u32, bool)> = decode(state, "token_returns")?;
+        self.token_returns = token_returns.into_iter().map(Reverse).collect();
+        self.vault_out.clear();
+        self.seq = decode(state, "seq")?;
+        self.req_deliveries = decode(state, "req_deliveries")?;
+        self.resp_deliveries = decode(state, "resp_deliveries")?;
+        Ok(())
     }
 }
 
@@ -476,6 +570,67 @@ mod tests {
             1,
             "the request is parked in vault 0 at cycle {end}: {stuck:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_bit_identically() {
+        let c = cfg();
+        for scheme in SchemeKind::ALL {
+            let mut a = HmcDevice::new(&c, scheme).unwrap();
+            // Mixed pattern: cross-vault strides plus same-bank conflicts so
+            // links, crossbar, queues, and DRAM state are all mid-flight.
+            for i in 0..24u64 {
+                let addr = if i % 3 == 0 { i * (1 << 19) } else { i * 1024 };
+                a.submit(read(i, addr, 0));
+            }
+            let mut out_a = Vec::new();
+            let mut now = 0;
+            // Stop mid-flight: some responses delivered, some in the wires.
+            while now < 400 {
+                now += 1;
+                a.tick(now, &mut out_a);
+            }
+            assert!(a.busy(), "scheme {scheme:?}: cube must still be busy");
+            let state = a.save_state();
+            let mut b = HmcDevice::new(&c, scheme).unwrap();
+            b.restore_state(&state)
+                .unwrap_or_else(|e| panic!("scheme {scheme:?}: restore failed: {e}"));
+            let pending = out_a.len();
+            let mut out_b = Vec::new();
+            while (a.busy() || b.busy()) && now < 500_000 {
+                now += 1;
+                a.tick(now, &mut out_a);
+                b.tick(now, &mut out_b);
+            }
+            assert!(!a.busy() && !b.busy(), "scheme {scheme:?}: must drain");
+            assert_eq!(
+                &out_a[pending..],
+                &out_b[..],
+                "scheme {scheme:?}: post-snapshot responses diverged"
+            );
+            let sa = a.finalize(now);
+            let sb = b.finalize(now);
+            assert_eq!(
+                format!("{sa:?}"),
+                format!("{sb:?}"),
+                "scheme {scheme:?}: finalized stats diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_vault_count() {
+        let paper = cfg();
+        let mut a = HmcDevice::new(&paper, SchemeKind::Nopf).unwrap();
+        a.submit(read(1, 0, 0));
+        let mut out = Vec::new();
+        a.tick(1, &mut out);
+        let state = a.save_state();
+        let mut small = SystemConfig::small();
+        small.hmc.vaults = paper.hmc.vaults / 2;
+        let mut b = HmcDevice::new(&small, SchemeKind::Nopf).unwrap();
+        let err = b.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("vault"), "got: {err}");
     }
 
     #[test]

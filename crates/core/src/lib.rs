@@ -21,7 +21,9 @@
 //! * [`audit`] — request-lifetime conservation checking,
 //! * [`metrics`] — per-run results ([`metrics::RunResult`]),
 //! * [`experiment`] — workload × scheme sweeps (rayon-parallel) and the
-//!   figure-level aggregations used to regenerate the paper's plots.
+//!   figure-level aggregations used to regenerate the paper's plots,
+//! * [`recovery`] — checkpoint/restore of a mid-flight run plus the
+//!   rollback-and-retry driver that survives injected faults.
 //!
 //! Every entry point returns [`Result`](camps_types::SimError)-typed
 //! errors: invalid configs, malformed traces, integrity violations, and
@@ -33,10 +35,16 @@ pub mod audit;
 pub mod experiment;
 pub mod hmc;
 pub mod metrics;
+pub mod recovery;
 pub mod system;
 
 pub use audit::RequestAuditor;
-pub use experiment::{run_matrix, run_mix, run_replicated, Replicated, RunLength};
+pub use experiment::{
+    resume_mix, run_matrix, run_mix, run_mix_recoverable, run_replicated, Replicated, RunLength,
+};
 pub use hmc::HmcDevice;
 pub use metrics::{fairness, Fairness, RunResult};
+pub use recovery::{
+    read_snapshot, run_with_recovery, write_snapshot, RecoveryEvent, RecoveryPolicy, RecoveryReport,
+};
 pub use system::System;

@@ -11,9 +11,12 @@ use camps_prefetch::SchemeKind;
 use camps_stats::{AuditLedger, Running};
 use camps_types::addr::PhysAddr;
 use camps_types::clock::Cycle;
-use camps_types::config::SystemConfig;
+use camps_types::config::{FaultPlan, SystemConfig};
 use camps_types::error::{IntegrityError, SimError, WatchdogReport};
 use camps_types::request::{AccessKind, CoreId, MemRequest, RequestId};
+use camps_types::snapshot::{decode, field, Snapshot};
+use serde::value::Value;
+use serde::{de, Serialize as _};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Sentinel MSHR waiter token for store fills (no core to wake).
@@ -219,6 +222,16 @@ impl MemorySubsystem {
             let block = resp.addr.0 & self.block_mask;
             let dirty = self.dirty_fills.remove(&block);
             let core = usize::from(resp.core.0);
+            if core >= self.hierarchy.cores() {
+                // A corrupt response would index past the private caches;
+                // latch the violation instead of panicking — the run loop
+                // polls and aborts with a typed error on the next check.
+                self.auditor.latch_violation(IntegrityError::CorruptCoreId {
+                    core: resp.core.0,
+                    cores: self.hierarchy.cores(),
+                });
+                continue;
+            }
             let waiters = self.mshrs.complete(resp.addr);
             self.wb_scratch.clear();
             let mut wbs = std::mem::take(&mut self.wb_scratch);
@@ -285,6 +298,73 @@ impl MemorySubsystem {
             debug_assert!(accepted, "headroom was checked");
             self.core_pf_issued += 1;
         }
+    }
+}
+
+impl Snapshot for MemorySubsystem {
+    fn save_state(&self) -> Value {
+        // `block_mask`/`block_bytes`/`core_pf` are derived from the
+        // config; `wb_scratch`/`resp_scratch` are intra-tick scratch.
+        // Hash collections serialize sorted so the byte stream (and its
+        // checksum) is deterministic.
+        let mut dirty_fills: Vec<u64> = self.dirty_fills.iter().copied().collect();
+        dirty_fills.sort_unstable();
+        let mut issue_cycle: Vec<(u64, Cycle)> =
+            self.issue_cycle.iter().map(|(&k, &v)| (k, v)).collect();
+        issue_cycle.sort_unstable();
+        let mut first_attempt: Vec<(u8, u64, Cycle)> = self
+            .first_attempt
+            .iter()
+            .map(|(&(core, block), &at)| (core, block, at))
+            .collect();
+        first_attempt.sort_unstable();
+        Value::Map(vec![
+            ("hierarchy".into(), self.hierarchy.save_state()),
+            ("mshrs".into(), self.mshrs.save_state()),
+            ("hmc".into(), self.hmc.save_state()),
+            ("dirty_fills".into(), dirty_fills.to_value()),
+            ("issue_cycle".into(), issue_cycle.to_value()),
+            ("first_attempt".into(), first_attempt.to_value()),
+            ("writeback_q".into(), self.writeback_q.to_value()),
+            ("next_id".into(), self.next_id.to_value()),
+            ("core_pf_issued".into(), self.core_pf_issued.to_value()),
+            ("amat_all".into(), self.amat_all.to_value()),
+            ("amat_mem".into(), self.amat_mem.to_value()),
+            ("buffer_served".into(), self.buffer_served.to_value()),
+            ("mem_reads".into(), self.mem_reads.to_value()),
+            ("auditor".into(), self.auditor.save_state()),
+            (
+                "responses_delivered".into(),
+                self.responses_delivered.to_value(),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        self.hierarchy.restore_state(field(state, "hierarchy")?)?;
+        self.mshrs.restore_state(field(state, "mshrs")?)?;
+        self.hmc.restore_state(field(state, "hmc")?)?;
+        let dirty_fills: Vec<u64> = decode(state, "dirty_fills")?;
+        self.dirty_fills = dirty_fills.into_iter().collect();
+        let issue_cycle: Vec<(u64, Cycle)> = decode(state, "issue_cycle")?;
+        self.issue_cycle = issue_cycle.into_iter().collect();
+        let first_attempt: Vec<(u8, u64, Cycle)> = decode(state, "first_attempt")?;
+        self.first_attempt = first_attempt
+            .into_iter()
+            .map(|(core, block, at)| ((core, block), at))
+            .collect();
+        self.writeback_q = decode(state, "writeback_q")?;
+        self.wb_scratch.clear();
+        self.resp_scratch.clear();
+        self.next_id = decode(state, "next_id")?;
+        self.core_pf_issued = decode(state, "core_pf_issued")?;
+        self.amat_all = decode(state, "amat_all")?;
+        self.amat_mem = decode(state, "amat_mem")?;
+        self.buffer_served = decode(state, "buffer_served")?;
+        self.mem_reads = decode(state, "mem_reads")?;
+        self.auditor.restore_state(field(state, "auditor")?)?;
+        self.responses_delivered = decode(state, "responses_delivered")?;
+        Ok(())
     }
 }
 
@@ -373,6 +453,64 @@ impl MemoryPort for MemorySubsystem {
     }
 }
 
+/// Loop bookkeeping for an in-flight [`System::run`] invocation, split
+/// out so the recovery driver can checkpoint and roll it back alongside
+/// the machine itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunState {
+    /// Cycle the run started at.
+    start: Cycle,
+    /// Per-core retirement target.
+    instructions: u64,
+    /// Absolute cycle cap.
+    deadline: Cycle,
+    /// Cycle (relative to `start`) each core reached its target.
+    done_at: Vec<Option<Cycle>>,
+    /// Watchdog: last observed forward-progress signature.
+    last_progress: (u64, u64),
+    /// Watchdog: cycle the signature last changed.
+    stalled_since: Cycle,
+}
+
+impl RunState {
+    /// True once every core hit its retirement target.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.done_at.iter().all(Option::is_some)
+    }
+}
+
+impl Snapshot for RunState {
+    fn save_state(&self) -> Value {
+        Value::Map(vec![
+            ("start".into(), self.start.to_value()),
+            ("instructions".into(), self.instructions.to_value()),
+            ("deadline".into(), self.deadline.to_value()),
+            ("done_at".into(), self.done_at.to_value()),
+            ("last_progress".into(), self.last_progress.to_value()),
+            ("stalled_since".into(), self.stalled_since.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let done_at: Vec<Option<Cycle>> = decode(state, "done_at")?;
+        if done_at.len() != self.done_at.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} per-core slots for a {}-core run",
+                done_at.len(),
+                self.done_at.len()
+            )));
+        }
+        self.start = decode(state, "start")?;
+        self.instructions = decode(state, "instructions")?;
+        self.deadline = decode(state, "deadline")?;
+        self.done_at = done_at;
+        self.last_progress = decode(state, "last_progress")?;
+        self.stalled_since = decode(state, "stalled_since")?;
+        Ok(())
+    }
+}
+
 /// The whole machine plus the run loop.
 pub struct System {
     cfg: SystemConfig,
@@ -431,6 +569,26 @@ impl System {
         &self.mem
     }
 
+    /// The configuration the machine was built from.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The prefetching scheme every vault runs.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// Disables every scheduled fault. The recovery driver calls this
+    /// after a rollback so the retry does not re-trip on the same
+    /// injected fault (the plan is "quarantined").
+    pub fn quarantine_faults(&mut self) {
+        self.cfg.faults = FaultPlan::default();
+        self.mem.hmc_mut().set_faults(FaultPlan::default());
+    }
+
     /// Functionally warms the caches by streaming `instructions` per core
     /// through the hierarchy with no timing — the equivalent of the
     /// paper's fast-forward + cache-warmup phase (§4.1). The per-core
@@ -475,40 +633,79 @@ impl System {
         max_cycles: Cycle,
         mix_id: &str,
     ) -> Result<RunResult, SimError> {
-        let start = self.now;
-        let n = self.cores.len();
-        let mut done_at: Vec<Option<Cycle>> = vec![None; n];
-        let deadline = start + max_cycles;
-        let watchdog = self.cfg.integrity.watchdog_cycles;
-        let mut last_progress = self.progress_signature();
-        let mut stalled_since = self.now;
-        while done_at.iter().any(Option::is_none) && self.now < deadline {
-            self.now += 1;
-            for (i, core) in self.cores.iter_mut().enumerate() {
-                core.tick(self.now, &mut self.mem);
-                if done_at[i].is_none() && core.stats().retired.get() >= instructions {
-                    done_at[i] = Some(self.now - start);
-                }
-            }
-            for (core, slot) in self.mem.tick(self.now) {
-                self.cores[usize::from(core.0)].complete_load(slot);
-            }
-            if let Some(violation) = self.mem.take_violation() {
-                return Err(SimError::Integrity(violation));
-            }
-            if watchdog > 0 {
-                let sig = self.progress_signature();
-                if sig == last_progress {
-                    let stall = self.now - stalled_since;
-                    if stall >= watchdog {
-                        return Err(SimError::Watchdog(Box::new(self.diagnostic_report(stall))));
-                    }
-                } else {
-                    last_progress = sig;
-                    stalled_since = self.now;
-                }
+        let mut state = self.run_begin(instructions, max_cycles);
+        while self.run_step(&mut state)? {}
+        self.run_finish(&state, mix_id)
+    }
+
+    /// Starts a run: captures the loop bookkeeping that [`Self::run_step`]
+    /// advances. Split out (with [`Self::run_finish`]) so the recovery
+    /// driver can interleave checkpoints with the cycle loop and roll the
+    /// bookkeeping back together with the machine.
+    pub fn run_begin(&mut self, instructions: u64, max_cycles: Cycle) -> RunState {
+        RunState {
+            start: self.now,
+            instructions,
+            deadline: self.now + max_cycles,
+            done_at: vec![None; self.cores.len()],
+            last_progress: self.progress_signature(),
+            stalled_since: self.now,
+        }
+    }
+
+    /// Advances the machine one cycle. Returns `Ok(true)` while the run
+    /// has work left and `Ok(false)` once every core hit its target (or
+    /// the cycle cap elapsed).
+    ///
+    /// # Errors
+    /// The same integrity/watchdog errors as [`Self::run`].
+    pub fn run_step(&mut self, state: &mut RunState) -> Result<bool, SimError> {
+        if !(state.done_at.iter().any(Option::is_none) && self.now < state.deadline) {
+            return Ok(false);
+        }
+        self.now += 1;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.tick(self.now, &mut self.mem);
+            if state.done_at[i].is_none() && core.stats().retired.get() >= state.instructions {
+                state.done_at[i] = Some(self.now - state.start);
             }
         }
+        for (core, slot) in self.mem.tick(self.now) {
+            // MSHR waiter tokens come back from the memory side; a corrupt
+            // token must surface as a typed error, not an index panic.
+            let Some(c) = self.cores.get_mut(usize::from(core.0)) else {
+                return Err(SimError::Integrity(IntegrityError::CorruptCoreId {
+                    core: core.0,
+                    cores: self.cores.len(),
+                }));
+            };
+            c.complete_load(slot);
+        }
+        if let Some(violation) = self.mem.take_violation() {
+            return Err(SimError::Integrity(violation));
+        }
+        let watchdog = self.cfg.integrity.watchdog_cycles;
+        if watchdog > 0 {
+            let sig = self.progress_signature();
+            if sig == state.last_progress {
+                let stall = self.now - state.stalled_since;
+                if stall >= watchdog {
+                    return Err(SimError::Watchdog(Box::new(self.diagnostic_report(stall))));
+                }
+            } else {
+                state.last_progress = sig;
+                state.stalled_since = self.now;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Closes out a run: drain-audits the memory side and computes the
+    /// metrics from the loop bookkeeping.
+    ///
+    /// # Errors
+    /// [`SimError::Integrity`] if the drained machine lost requests.
+    pub fn run_finish(&mut self, state: &RunState, mix_id: &str) -> Result<RunResult, SimError> {
         if !self.mem.busy() {
             // The machine claims idle: every injected request must have
             // come back. (While memory is still draining — the run ended
@@ -519,14 +716,14 @@ impl System {
                 return Err(SimError::Integrity(violation));
             }
         }
-        let elapsed = self.now - start;
+        let elapsed = self.now - state.start;
         let ipc: Vec<f64> = self
             .cores
             .iter()
-            .zip(&done_at)
+            .zip(&state.done_at)
             .map(|(core, done)| {
                 let cycles = done.unwrap_or(elapsed).max(1);
-                core.stats().retired.get().min(instructions) as f64 / cycles as f64
+                core.stats().retired.get().min(state.instructions) as f64 / cycles as f64
             })
             .collect();
         let vaults = self.mem.hmc_mut().finalize(self.now);
@@ -572,6 +769,38 @@ impl System {
             resp_link_tokens: hmc.resp_link_tokens(),
             vaults: hmc.vault_snapshots(),
         }
+    }
+}
+
+impl Snapshot for System {
+    fn save_state(&self) -> Value {
+        // `cfg` and `scheme` are construction inputs recorded (as a hash
+        // and a name) in the snapshot manifest, not in the state tree.
+        let cores: Vec<Value> = self.cores.iter().map(Snapshot::save_state).collect();
+        Value::Map(vec![
+            ("cores".into(), Value::Seq(cores)),
+            ("mem".into(), self.mem.save_state()),
+            ("now".into(), self.now.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let Value::Seq(core_states) = field(state, "cores")? else {
+            return Err(de::Error::custom("snapshot: `cores` is not a sequence"));
+        };
+        if core_states.len() != self.cores.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} core states for a {}-core machine",
+                core_states.len(),
+                self.cores.len()
+            )));
+        }
+        for (core, cs) in self.cores.iter_mut().zip(core_states) {
+            core.restore_state(cs)?;
+        }
+        self.mem.restore_state(field(state, "mem")?)?;
+        self.now = decode(state, "now")?;
+        Ok(())
     }
 }
 
@@ -639,6 +868,46 @@ mod tests {
         assert_eq!(ra.ipc, rb.ipc);
         assert_eq!(ra.cycles, rb.cycles);
         assert_eq!(ra.vaults, rb.vaults);
+    }
+
+    #[test]
+    fn mid_run_snapshot_restores_bit_identical_results() {
+        let cfg = small_cfg();
+        for scheme in [SchemeKind::Nopf, SchemeKind::Camps] {
+            let mut a = System::new(&cfg, scheme, streaming_traces(&cfg)).unwrap();
+            let mut st_a = a.run_begin(10_000, 1_000_000);
+            for _ in 0..3_000 {
+                assert!(a.run_step(&mut st_a).unwrap());
+            }
+            let sys_state = a.save_state();
+            let run_state = st_a.save_state();
+            // Fresh machine, overlay the checkpoint, continue both.
+            let mut b = System::new(&cfg, scheme, streaming_traces(&cfg)).unwrap();
+            let mut st_b = b.run_begin(10_000, 1_000_000);
+            b.restore_state(&sys_state).unwrap();
+            st_b.restore_state(&run_state).unwrap();
+            while a.run_step(&mut st_a).unwrap() {}
+            while b.run_step(&mut st_b).unwrap() {}
+            let ra = a.run_finish(&st_a, "snap").unwrap();
+            let rb = b.run_finish(&st_b, "snap").unwrap();
+            assert_eq!(ra.ipc, rb.ipc, "{scheme:?}");
+            assert_eq!(ra.cycles, rb.cycles, "{scheme:?}");
+            assert_eq!(ra.vaults, rb.vaults, "{scheme:?}");
+            assert_eq!(ra.amat_mem, rb.amat_mem, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_core_count() {
+        let cfg = small_cfg();
+        let sys = System::new(&cfg, SchemeKind::Nopf, streaming_traces(&cfg)).unwrap();
+        let state = sys.save_state();
+        let mut one_core_cfg = cfg.clone();
+        one_core_cfg.cpu.cores = 1;
+        let traces = streaming_traces(&one_core_cfg);
+        let mut small = System::new(&one_core_cfg, SchemeKind::Nopf, traces).unwrap();
+        let err = small.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("core"), "got: {err}");
     }
 
     #[test]

@@ -6,7 +6,9 @@ use camps_types::addr::PhysAddr;
 use camps_types::clock::Cycle;
 use camps_types::config::CpuConfig;
 use camps_types::request::{AccessKind, CoreId};
-use serde::{Deserialize, Serialize};
+use camps_types::snapshot::{decode, field, Snapshot};
+use serde::value::Value;
+use serde::{de, Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
 /// What the memory port says about an attempted load.
@@ -47,6 +49,35 @@ enum RobEntry {
     StalledLoad(PhysAddr),
     /// A store waiting for store-buffer space.
     StalledStore(PhysAddr),
+}
+
+impl RobEntry {
+    /// Snapshot encoding: the derive subset cannot express data-carrying
+    /// enums, so entries serialize as `(tag, payload)` pairs.
+    fn pack(self) -> (u8, u64) {
+        match self {
+            Self::Ready(c) => (0, c),
+            Self::HitLoad(c) => (1, c),
+            Self::PendingLoad(slot) => (2, slot),
+            Self::StalledLoad(a) => (3, a.0),
+            Self::StalledStore(a) => (4, a.0),
+        }
+    }
+
+    fn unpack(tag: u8, payload: u64) -> Result<Self, de::Error> {
+        Ok(match tag {
+            0 => Self::Ready(payload),
+            1 => Self::HitLoad(payload),
+            2 => Self::PendingLoad(payload),
+            3 => Self::StalledLoad(PhysAddr(payload)),
+            4 => Self::StalledStore(PhysAddr(payload)),
+            other => {
+                return Err(de::Error::custom(format!(
+                    "snapshot: unknown RobEntry tag {other}"
+                )))
+            }
+        })
+    }
 }
 
 /// Per-core statistics.
@@ -299,6 +330,42 @@ impl Core {
     }
 }
 
+impl Snapshot for Core {
+    fn save_state(&self) -> Value {
+        let rob: Vec<(u8, u64)> = self.rob.iter().map(|e| e.pack()).collect();
+        let mut completed: Vec<u64> = self.completed.iter().copied().collect();
+        completed.sort_unstable();
+        Value::Map(vec![
+            ("rob".into(), rob.to_value()),
+            ("store_buffer".into(), self.store_buffer.to_value()),
+            ("pending_gap".into(), self.pending_gap.to_value()),
+            ("pending_mem".into(), self.pending_mem.to_value()),
+            ("next_slot".into(), self.next_slot.to_value()),
+            ("completed".into(), completed.to_value()),
+            ("stats".into(), self.stats.to_value()),
+            ("trace".into(), self.trace.save_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let rob_raw: Vec<(u8, u64)> = decode(state, "rob")?;
+        let mut rob = VecDeque::with_capacity(self.rob_cap);
+        for (tag, payload) in rob_raw {
+            rob.push_back(RobEntry::unpack(tag, payload)?);
+        }
+        self.rob = rob;
+        self.store_buffer = decode(state, "store_buffer")?;
+        self.pending_gap = decode(state, "pending_gap")?;
+        self.pending_mem = decode(state, "pending_mem")?;
+        self.next_slot = decode(state, "next_slot")?;
+        let completed: Vec<u64> = decode(state, "completed")?;
+        self.completed = completed.into_iter().collect();
+        self.stats = decode(state, "stats")?;
+        self.trace.restore_state(field(state, "trace")?)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +520,69 @@ mod tests {
         assert!(mem.stores > 0);
         // Stores never block retirement here: IPC stays near width limits.
         assert!(core.stats().ipc() > 0.9, "ipc {}", core.stats().ipc());
+    }
+
+    #[test]
+    fn core_snapshot_restores_identical_execution() {
+        // Mixed trace with loads, stores, and compute so the snapshot
+        // covers the ROB, store buffer, pending-op state, and the trace
+        // cursor mid-stream.
+        let ops = vec![
+            TraceOp::compute(3),
+            TraceOp::load(1, PhysAddr(0x40)),
+            TraceOp::store(2, PhysAddr(0x80)),
+            TraceOp::load(0, PhysAddr(0xC0)),
+        ];
+        let trace = VecTrace::new("mix", ops.clone());
+        let mut a = Core::new(CoreId(0), &cfg(), Box::new(trace));
+        let mut mem_a = FlatMemory {
+            latency: 7,
+            loads: 0,
+            stores: 0,
+        };
+        run(&mut a, &mut mem_a, 137);
+        let state = a.save_state();
+
+        let mut b = Core::new(CoreId(0), &cfg(), Box::new(VecTrace::new("mix", ops)));
+        b.restore_state(&state).unwrap();
+        assert_eq!(a.stats(), b.stats());
+
+        let mut mem_b = FlatMemory {
+            latency: 7,
+            loads: 0,
+            stores: 0,
+        };
+        for now in 138..=400 {
+            a.tick(now, &mut mem_a);
+            b.tick(now, &mut mem_b);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.rob_occupancy(), b.rob_occupancy());
+    }
+
+    #[test]
+    fn core_restore_rejects_garbage_shapes() {
+        let trace = VecTrace::new("x", vec![TraceOp::compute(1)]);
+        let mut core = Core::new(CoreId(0), &cfg(), Box::new(trace));
+        assert!(core.restore_state(&Value::U64(1)).is_err());
+        // A valid map with a corrupt ROB tag is also a typed error.
+        let mut state = match Core::new(
+            CoreId(0),
+            &cfg(),
+            Box::new(VecTrace::new("x", vec![TraceOp::compute(1)])),
+        )
+        .save_state()
+        {
+            Value::Map(m) => m,
+            other => panic!("expected map, got {other:?}"),
+        };
+        for entry in &mut state {
+            if entry.0 == "rob" {
+                entry.1 = vec![(9u8, 0u64)].to_value();
+            }
+        }
+        let err = core.restore_state(&Value::Map(state)).unwrap_err();
+        assert!(err.to_string().contains("RobEntry tag"));
     }
 
     #[test]

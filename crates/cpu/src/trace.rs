@@ -7,6 +7,8 @@
 
 use camps_types::addr::PhysAddr;
 use camps_types::request::AccessKind;
+use serde::value::Value;
+use serde::{de, Deserialize, Serialize};
 
 /// One step of a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +58,24 @@ pub trait TraceSource: Send {
 
     /// Human-readable name (benchmark name in the Table II mixes).
     fn name(&self) -> &str;
+
+    /// Captures the stream's cursor state for checkpointing. Sources
+    /// whose state is fully determined by construction return
+    /// [`Value::Null`] (the default).
+    fn save_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Overlays cursor state captured by [`TraceSource::save_state`] on an
+    /// identically constructed source.
+    ///
+    /// # Errors
+    /// Returns a deserialization error on a shape mismatch (snapshot from
+    /// a different source kind or a format break).
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// A trace that replays a fixed op sequence forever — test workhorse.
@@ -92,6 +112,22 @@ impl TraceSource for VecTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn save_state(&self) -> Value {
+        self.pos.to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let pos = usize::from_value(state)?;
+        if pos >= self.ops.len() {
+            return Err(de::Error::custom(format!(
+                "VecTrace cursor {pos} out of range for {} ops",
+                self.ops.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +157,25 @@ mod tests {
     #[should_panic(expected = "at least one op")]
     fn empty_trace_panics() {
         let _ = VecTrace::new("e", vec![]);
+    }
+
+    #[test]
+    fn vec_trace_cursor_snapshots_and_restores() {
+        let ops = vec![
+            TraceOp::compute(1),
+            TraceOp::load(0, PhysAddr(64)),
+            TraceOp::store(2, PhysAddr(128)),
+        ];
+        let mut a = VecTrace::new("t", ops.clone());
+        a.next_op();
+        a.next_op();
+        let state = a.save_state();
+        let mut b = VecTrace::new("t", ops);
+        b.restore_state(&state).unwrap();
+        for _ in 0..7 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        // An out-of-range cursor is a shape error, not a panic.
+        assert!(b.restore_state(&Value::U64(99)).is_err());
     }
 }

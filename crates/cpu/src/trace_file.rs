@@ -212,6 +212,24 @@ impl TraceSource for FileTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn save_state(&self) -> serde::value::Value {
+        use serde::Serialize as _;
+        self.pos.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::value::Value) -> Result<(), serde::de::Error> {
+        use serde::Deserialize as _;
+        let pos = usize::from_value(state)?;
+        if pos >= self.ops.len() {
+            return Err(serde::de::Error::custom(format!(
+                "FileTrace cursor {pos} out of range for {} ops",
+                self.ops.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@ use crate::replacement::ReplacementKind;
 use crate::schemes::{base::Base, base_hit::BaseHit, camps::Camps, mmd::Mmd, none::Nopf};
 use camps_types::addr::RowKey;
 use camps_types::config::PrefetchBufferConfig;
-use serde::{Deserialize, Serialize};
+use serde::value::Value;
+use serde::{de, Deserialize, Serialize};
 use std::fmt;
 
 /// What the vault controller should do in response to an event.
@@ -74,6 +75,24 @@ pub trait PrefetchScheme: Send {
     /// Diagnostic one-liner of internal state (adaptive thresholds etc.).
     fn debug_state(&self) -> String {
         self.kind().name().to_string()
+    }
+
+    /// Captures the scheme's mutable state (RUT/CT contents, adaptive
+    /// thresholds) for checkpointing. Stateless schemes return
+    /// [`Value::Null`] (the default).
+    fn save_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Overlays state captured by [`PrefetchScheme::save_state`] on an
+    /// identically constructed scheme.
+    ///
+    /// # Errors
+    /// Returns a deserialization error on shape mismatch (snapshot from a
+    /// different scheme kind or a format break).
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let _ = state;
+        Ok(())
     }
 }
 

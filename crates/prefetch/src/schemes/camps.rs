@@ -21,6 +21,9 @@ use crate::scheme::{PfAction, PrefetchScheme, SchemeKind};
 use crate::tables::{ConflictTable, RowUtilizationTable};
 use camps_types::addr::RowKey;
 use camps_types::config::PrefetchBufferConfig;
+use camps_types::snapshot::decode;
+use serde::value::Value;
+use serde::{de, Serialize as _};
 
 /// The conflict-aware scheme (CAMPS, or CAMPS-MOD when built with the
 /// utilization + recency replacement policy).
@@ -131,6 +134,21 @@ impl PrefetchScheme for Camps {
             );
         }
         PfAction::None
+    }
+
+    fn save_state(&self) -> Value {
+        // `threshold`, `ct_evidence`, and `replacement` come from the
+        // configuration; only the profiling tables are mutable state.
+        Value::Map(vec![
+            ("rut".into(), self.rut.to_value()),
+            ("ct".into(), self.ct.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        self.rut = decode(state, "rut")?;
+        self.ct = decode(state, "ct")?;
+        Ok(())
     }
 }
 
@@ -262,6 +280,27 @@ mod tests {
             Camps::new(16, &cfg, ReplacementKind::UtilRecency).kind(),
             SchemeKind::CampsMod
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_profiling_tables() {
+        let mut a = scheme();
+        // Populate both tables: open rows, displace a few into the CT.
+        for row in 0..6u32 {
+            a.on_row_activated(k(0, row), row > 0, 0);
+        }
+        a.on_row_hit(k(0, 5), 0);
+        let state = a.save_state();
+        let mut b = scheme();
+        b.restore_state(&state).unwrap();
+        assert_eq!(a.utilization_table(), b.utilization_table());
+        assert_eq!(a.conflict_table(), b.conflict_table());
+        // Identical behavior after restore.
+        assert_eq!(
+            a.on_row_activated(k(0, 4), true, 0),
+            b.on_row_activated(k(0, 4), true, 0)
+        );
+        assert!(b.restore_state(&serde::value::Value::Null).is_err());
     }
 
     #[test]

@@ -33,6 +33,9 @@ use crate::replacement::ReplacementKind;
 use crate::scheme::{PfAction, PrefetchScheme, SchemeKind};
 use crate::tables::RowUtilizationTable;
 use camps_types::addr::RowKey;
+use camps_types::snapshot::decode;
+use serde::value::Value;
+use serde::{de, Serialize as _};
 
 /// Most aggressive: fetch a row on its first access while open.
 const MIN_THRESHOLD: u32 = 1;
@@ -140,6 +143,25 @@ impl PrefetchScheme for Mmd {
             self.threshold, self.issued_in_epoch, self.epoch, self.useful_in_epoch
         )
     }
+
+    fn save_state(&self) -> Value {
+        // `epoch` is a construction input; the hit table, the adaptive
+        // threshold, and the in-epoch feedback counters are mutable.
+        Value::Map(vec![
+            ("hits".into(), self.hits.to_value()),
+            ("threshold".into(), self.threshold.to_value()),
+            ("issued_in_epoch".into(), self.issued_in_epoch.to_value()),
+            ("useful_in_epoch".into(), self.useful_in_epoch.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        self.hits = decode(state, "hits")?;
+        self.threshold = decode(state, "threshold")?;
+        self.issued_in_epoch = decode(state, "issued_in_epoch")?;
+        self.useful_in_epoch = decode(state, "useful_in_epoch")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +248,30 @@ mod tests {
             }
         }
         assert_eq!(s.threshold(), MIN_THRESHOLD);
+    }
+
+    #[test]
+    fn snapshot_round_trips_adaptive_state() {
+        let mut a = Mmd::new(16, 2);
+        for row in 0..2 {
+            a.on_row_activated(k(0, row), false, 0);
+            let _ = a.on_row_hit(k(0, row), 0); // issued, never referenced
+        }
+        assert_eq!(a.threshold(), 3);
+        a.on_row_activated(k(1, 7), false, 0); // partial epoch + live RUT entry
+        let state = a.save_state();
+        let mut b = Mmd::new(16, 2);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.threshold(), 3);
+        assert_eq!(a.debug_state(), b.debug_state());
+        for row in 10..14 {
+            assert_eq!(
+                a.on_row_activated(k(2, row), false, 0),
+                b.on_row_activated(k(2, row), false, 0)
+            );
+            assert_eq!(a.on_row_hit(k(2, row), 0), b.on_row_hit(k(2, row), 0));
+        }
+        assert!(b.restore_state(&serde::value::Value::U64(3)).is_err());
     }
 
     #[test]

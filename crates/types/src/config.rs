@@ -319,6 +319,11 @@ pub struct IntegrityConfig {
     /// retires an instruction and no memory response is delivered for this
     /// many CPU cycles while work is pending. 0 disables the watchdog.
     pub watchdog_cycles: Cycle,
+    /// Periodic checkpoint interval in CPU cycles for recovery-enabled
+    /// runs. `None` disables periodic checkpoints; `Some(0)` is rejected
+    /// by validation ([`ConfigError::ZeroCheckpointInterval`]).
+    #[serde(default)]
+    pub checkpoint_every: Option<Cycle>,
 }
 
 impl Default for IntegrityConfig {
@@ -329,6 +334,7 @@ impl Default for IntegrityConfig {
             // a full write drain ~10^4): only a wedged machine waits this
             // long with zero retirements and zero responses.
             watchdog_cycles: 200_000,
+            checkpoint_every: None,
         }
     }
 }
@@ -557,6 +563,17 @@ impl SystemConfig {
         self.dram.domain(self.cpu.freq_hz)
     }
 
+    /// Worst-case latency of a single legitimate DRAM access in CPU
+    /// cycles: a row-buffer conflict (precharge + activate + CAS + burst)
+    /// that additionally arrives just as an all-bank refresh starts. Any
+    /// watchdog window below this would flag a healthy machine as wedged.
+    #[must_use]
+    pub fn worst_case_access_cycles(&self) -> Cycle {
+        let d = &self.dram;
+        let dram_cycles = d.t_rfc + d.t_rp + d.t_rcd + d.t_cl + d.t_burst;
+        self.dram_domain().to_cpu_cycles(dram_cycles)
+    }
+
     /// Checks structural invariants across the whole configuration.
     ///
     /// # Errors
@@ -642,11 +659,29 @@ impl SystemConfig {
                 reason: "prefetch buffer must hold at least one row".into(),
             });
         }
+        if !self.prefetch.entries.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "prefetch.entries",
+                value: u64::from(self.prefetch.entries),
+            });
+        }
         if self.prefetch.rut_threshold == 0 {
             return Err(ConfigError::Invalid {
                 field: "prefetch.rut_threshold",
                 reason: "threshold must be at least 1".into(),
             });
+        }
+        if self.integrity.watchdog_cycles > 0 {
+            let floor = self.worst_case_access_cycles();
+            if self.integrity.watchdog_cycles < floor {
+                return Err(ConfigError::WatchdogTooShort {
+                    window: self.integrity.watchdog_cycles,
+                    floor,
+                });
+            }
+        }
+        if self.integrity.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroCheckpointInterval);
         }
         if self.faults.stall_vault_from > 0 && self.faults.stall_vault >= self.hmc.vaults {
             return Err(ConfigError::Invalid {
@@ -741,6 +776,53 @@ mod tests {
         let mut c = SystemConfig::paper_default();
         c.prefetch.entries = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_prefetch_entries_rejected() {
+        let mut c = SystemConfig::paper_default();
+        c.prefetch.entries = 12;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotPowerOfTwo {
+                field: "prefetch.entries",
+                value: 12,
+            })
+        ));
+        c.prefetch.entries = 16;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn watchdog_below_worst_case_access_rejected() {
+        let mut c = SystemConfig::paper_default();
+        let floor = c.worst_case_access_cycles();
+        assert!(floor > 0);
+        c.integrity.watchdog_cycles = floor - 1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::WatchdogTooShort { window, floor: f })
+                if window == floor - 1 && f == floor
+        ));
+        // Exactly the floor, or disabled entirely, is legal.
+        c.integrity.watchdog_cycles = floor;
+        c.validate().unwrap();
+        c.integrity.watchdog_cycles = 0;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_rejected() {
+        let mut c = SystemConfig::paper_default();
+        c.integrity.checkpoint_every = Some(0);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ZeroCheckpointInterval)
+        ));
+        c.integrity.checkpoint_every = Some(100_000);
+        c.validate().unwrap();
+        c.integrity.checkpoint_every = None;
+        c.validate().unwrap();
     }
 
     #[test]

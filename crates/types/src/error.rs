@@ -27,6 +27,19 @@ pub enum ConfigError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The forward-progress watchdog window is shorter than the worst-case
+    /// legitimate DRAM access latency, so a healthy machine would be
+    /// aborted as wedged.
+    WatchdogTooShort {
+        /// The configured `integrity.watchdog_cycles`.
+        window: Cycle,
+        /// Minimum legal window (worst-case access latency, CPU cycles).
+        floor: Cycle,
+    },
+    /// A checkpoint interval of zero cycles was requested. Disabling
+    /// periodic checkpoints is expressed by leaving the interval unset,
+    /// never by zero.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -40,6 +53,21 @@ impl fmt::Display for ConfigError {
             }
             Self::Invalid { field, reason } => {
                 write!(f, "config field `{field}` invalid: {reason}")
+            }
+            Self::WatchdogTooShort { window, floor } => {
+                write!(
+                    f,
+                    "integrity.watchdog_cycles = {window} is below the worst-case \
+                     DRAM access latency ({floor} CPU cycles); a healthy stall \
+                     would trip the watchdog"
+                )
+            }
+            Self::ZeroCheckpointInterval => {
+                write!(
+                    f,
+                    "checkpoint interval must be nonzero (omit it to disable \
+                     periodic checkpoints)"
+                )
             }
         }
     }
@@ -152,6 +180,14 @@ pub enum IntegrityError {
         /// Up to eight example ids for debugging.
         examples: Vec<RequestId>,
     },
+    /// A response (or MSHR waiter token) named a core the machine does
+    /// not have — the request lifecycle state is corrupt.
+    CorruptCoreId {
+        /// The core id carried by the response.
+        core: u8,
+        /// How many cores the machine actually has.
+        cores: usize,
+    },
 }
 
 impl fmt::Display for IntegrityError {
@@ -175,6 +211,9 @@ impl fmt::Display for IntegrityError {
                     "{outstanding} requests lost (memory idle while outstanding), \
                      e.g. {examples:?}"
                 )
+            }
+            Self::CorruptCoreId { core, cores } => {
+                write!(f, "response names core {core} of a {cores}-core machine")
             }
         }
     }
@@ -298,6 +337,13 @@ pub enum SimError {
     Integrity(IntegrityError),
     /// The forward-progress watchdog aborted the run.
     Watchdog(Box<WatchdogReport>),
+    /// A checkpoint could not be written, read, or applied: payload
+    /// checksum mismatch, format-version mismatch, manifest/config
+    /// disagreement, or a state tree whose shape the restorer rejects.
+    Snapshot {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -309,6 +355,7 @@ impl fmt::Display for SimError {
             Self::Setup { reason } => write!(f, "bad run setup: {reason}"),
             Self::Integrity(e) => write!(f, "integrity violation: {e}"),
             Self::Watchdog(report) => write!(f, "{report}"),
+            Self::Snapshot { reason } => write!(f, "snapshot error: {reason}"),
         }
     }
 }
@@ -320,7 +367,15 @@ impl std::error::Error for SimError {
             Self::Trace(e) => Some(e),
             Self::Io { source, .. } => Some(source),
             Self::Integrity(e) => Some(e),
-            Self::Setup { .. } | Self::Watchdog(_) => None,
+            Self::Setup { .. } | Self::Watchdog(_) | Self::Snapshot { .. } => None,
+        }
+    }
+}
+
+impl From<serde::de::Error> for SimError {
+    fn from(e: serde::de::Error) -> Self {
+        SimError::Snapshot {
+            reason: e.to_string(),
         }
     }
 }
@@ -359,6 +414,25 @@ mod tests {
             reason: "zero".into(),
         };
         assert!(e.to_string().contains("rob"));
+    }
+
+    #[test]
+    fn cross_field_variants_display_the_constraint() {
+        let e = ConfigError::WatchdogTooShort {
+            window: 100,
+            floor: 1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("1000"), "{s}");
+        let s = ConfigError::ZeroCheckpointInterval.to_string();
+        assert!(s.contains("nonzero"), "{s}");
+    }
+
+    #[test]
+    fn snapshot_errors_wrap_deserialization_failures() {
+        let e = SimError::from(serde::de::Error::custom("missing field `rob`"));
+        assert!(e.to_string().contains("snapshot error"));
+        assert!(e.to_string().contains("missing field `rob`"));
     }
 
     #[test]

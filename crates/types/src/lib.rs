@@ -24,6 +24,7 @@ pub mod clock;
 pub mod config;
 pub mod error;
 pub mod request;
+pub mod snapshot;
 
 pub use addr::{AddressMapping, DecodedAddr, MappingScheme, PhysAddr, RowKey};
 pub use clock::{ClockDomain, Cycle};
@@ -34,3 +35,4 @@ pub use config::{
 };
 pub use error::{ConfigError, IntegrityError, SimError, TraceError, VaultSnapshot, WatchdogReport};
 pub use request::{AccessKind, CoreId, MemRequest, MemResponse, RequestId, ServiceSource};
+pub use snapshot::{fnv1a, Snapshot, SnapshotManifest, SNAPSHOT_FORMAT_VERSION};

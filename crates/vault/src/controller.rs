@@ -12,6 +12,9 @@ use camps_types::clock::Cycle;
 use camps_types::config::{PagePolicy, SchedulerKind, SystemConfig};
 use camps_types::error::{ConfigError, VaultSnapshot};
 use camps_types::request::{AccessKind, MemRequest, MemResponse, ServiceSource};
+use camps_types::snapshot::{decode, field, Snapshot};
+use serde::value::Value;
+use serde::{de, Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -23,7 +26,7 @@ const STARVATION_LIMIT: Cycle = 5_000;
 const WRITEBACK_PRESSURE: usize = 8;
 
 /// A whole-row prefetch in flight on one bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct FetchJob {
     key: RowKey,
     precharge_after: bool,
@@ -47,7 +50,7 @@ struct FetchJob {
 const LOOKAHEAD_EXPIRY: Cycle = 4_000;
 
 /// A dirty buffer eviction being written back to its bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct WritebackJob {
     key: RowKey,
     /// `None` until the TSV transfer starts; then its completion cycle.
@@ -863,6 +866,82 @@ impl VaultController {
     }
 }
 
+impl Snapshot for VaultController {
+    fn save_state(&self) -> Value {
+        // Derived configuration (timing, caps, mapping, scheduler/page
+        // policy, fetch chunking) is rebuilt by the constructor; every
+        // mutable field is captured. The response priority queue
+        // serializes as a sorted sequence and is rebuilt by reinsertion.
+        let mut responses: Vec<(Cycle, u64, MemResponse)> =
+            self.responses.iter().map(|Reverse(entry)| *entry).collect();
+        responses.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        Value::Map(vec![
+            ("banks".into(), self.banks.to_value()),
+            ("window".into(), self.window.to_value()),
+            ("push_seq".into(), self.push_seq.to_value()),
+            ("draining".into(), self.draining.to_value()),
+            ("read_q".into(), self.read_q.to_value()),
+            ("write_q".into(), self.write_q.to_value()),
+            ("buffer".into(), self.buffer.to_value()),
+            ("scheme".into(), self.scheme.save_state()),
+            ("fetches".into(), self.fetches.to_value()),
+            ("writeback_q".into(), self.writeback_q.to_value()),
+            ("active_writeback".into(), self.active_writeback.to_value()),
+            ("want_precharge".into(), self.want_precharge.to_value()),
+            ("bus_free".into(), self.bus_free.to_value()),
+            ("next_refresh".into(), self.next_refresh.to_value()),
+            ("refresh_pending".into(), self.refresh_pending.to_value()),
+            ("responses".into(), responses.to_value()),
+            ("resp_seq".into(), self.resp_seq.to_value()),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let banks: Vec<Bank> = decode(state, "banks")?;
+        if banks.len() != self.banks.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} banks for a {}-bank vault",
+                banks.len(),
+                self.banks.len()
+            )));
+        }
+        let want_precharge: Vec<bool> = decode(state, "want_precharge")?;
+        if want_precharge.len() != self.want_precharge.len() {
+            return Err(de::Error::custom(
+                "snapshot: want_precharge length does not match bank count",
+            ));
+        }
+        let read_q: Vec<Queued> = decode(state, "read_q")?;
+        let write_q: Vec<Queued> = decode(state, "write_q")?;
+        if read_q.len() > self.read_cap || write_q.len() > self.write_cap {
+            return Err(de::Error::custom(
+                "snapshot: queue contents exceed configured capacity",
+            ));
+        }
+        self.banks = banks;
+        self.want_precharge = want_precharge;
+        self.read_q = read_q;
+        self.write_q = write_q;
+        self.window = decode(state, "window")?;
+        self.push_seq = decode(state, "push_seq")?;
+        self.draining = decode(state, "draining")?;
+        self.buffer = decode(state, "buffer")?;
+        self.scheme.restore_state(field(state, "scheme")?)?;
+        self.fetches = decode(state, "fetches")?;
+        self.writeback_q = decode(state, "writeback_q")?;
+        self.active_writeback = decode(state, "active_writeback")?;
+        self.bus_free = decode(state, "bus_free")?;
+        self.next_refresh = decode(state, "next_refresh")?;
+        self.refresh_pending = decode(state, "refresh_pending")?;
+        let responses: Vec<(Cycle, u64, MemResponse)> = decode(state, "responses")?;
+        self.responses = responses.into_iter().map(Reverse).collect();
+        self.resp_seq = decode(state, "resp_seq")?;
+        self.stats = decode(state, "stats")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1252,6 +1331,59 @@ mod tests {
             ids.dedup();
             proptest::prop_assert_eq!(ids.len() as u64, accepted);
         }
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_bit_identically() {
+        // Exercise every stateful engine: queued demand, an in-flight row
+        // fetch, buffer residency, and pending responses — then snapshot,
+        // restore onto a fresh vault, and require identical behavior.
+        for kind in SchemeKind::ALL {
+            let c = cfg();
+            let mut a = VaultController::new(0, &c, kind).unwrap();
+            let mut now: Cycle = 0;
+            let mut out_a = Vec::new();
+            for (i, row) in [5u32, 5, 5, 5, 5, 6, 5, 7].iter().enumerate() {
+                let (r, d) = req_at(&c, i as u64, 0, *row, i as u16, AccessKind::Read, now);
+                a.try_enqueue(r, d, now);
+                for _ in 0..40 {
+                    now += 1;
+                    a.tick(now, &mut out_a);
+                }
+            }
+            let state = a.save_state();
+            let mut b = VaultController::new(0, &c, kind).unwrap();
+            b.restore_state(&state).unwrap();
+            let mut out_b = Vec::new();
+            let deadline = now + 200_000;
+            while (a.busy() || b.busy()) && now < deadline {
+                now += 1;
+                a.tick(now, &mut out_a);
+                b.tick(now, &mut out_b);
+            }
+            // Responses emitted after the snapshot point must match exactly.
+            let pending = out_a.len() - out_b.len();
+            assert_eq!(
+                &out_a[pending..],
+                &out_b[..],
+                "{kind}: post-snapshot responses diverged"
+            );
+            a.finalize(now);
+            b.finalize(now);
+            assert_eq!(a.stats(), b.stats(), "{kind}: stats diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_geometry() {
+        let c = cfg();
+        let a = VaultController::new(0, &c, SchemeKind::Camps).unwrap();
+        let state = a.save_state();
+        let mut c8 = cfg();
+        c8.hmc.banks_per_vault = 8;
+        let mut b = VaultController::new(0, &c8, SchemeKind::Camps).unwrap();
+        let err = b.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("bank"));
     }
 
     #[test]

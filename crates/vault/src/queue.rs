@@ -4,9 +4,10 @@ use camps_dram::bank::AccessCategory;
 use camps_types::addr::DecodedAddr;
 use camps_types::clock::Cycle;
 use camps_types::request::MemRequest;
+use serde::{Deserialize, Serialize};
 
 /// A demand request waiting in a vault's read or write queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Queued {
     /// The request itself.
     pub req: MemRequest,

@@ -4,8 +4,11 @@ use crate::profile::BenchProfile;
 use camps_cpu::trace::{TraceOp, TraceSource};
 use camps_types::addr::PhysAddr;
 use camps_types::request::AccessKind;
+use camps_types::snapshot::decode;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::value::Value;
+use serde::{de, Serialize as _};
 
 /// A deterministic, seedable trace generator realizing a
 /// [`BenchProfile`] inside a private physical-address slice.
@@ -156,6 +159,48 @@ impl TraceSource for SpecTrace {
 
     fn name(&self) -> &str {
         self.profile.name
+    }
+
+    fn save_state(&self) -> Value {
+        // `thresholds`/`mean_gap` are derived from the profile and
+        // `base`/`span` are construction inputs — only the mutable
+        // cursors and the RNG stream position are captured.
+        Value::Map(vec![
+            ("rng".into(), self.rng.export_state().to_value()),
+            ("stream_cursors".into(), self.stream_cursors.to_value()),
+            ("stride_cursor".into(), self.stride_cursor.to_value()),
+            ("active_stream".into(), self.active_stream.to_value()),
+            ("burst_left".into(), self.burst_left.to_value()),
+            ("region_base".into(), self.region_base.to_value()),
+            ("region_left".into(), self.region_left.to_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
+        let (key, counter, buf, idx): (Vec<u32>, u64, Vec<u32>, usize) = decode(state, "rng")?;
+        self.rng = ChaCha8Rng::import_state(&key, counter, &buf, idx)
+            .ok_or_else(|| de::Error::custom("snapshot: malformed ChaCha8 RNG state"))?;
+        let stream_cursors: Vec<u64> = decode(state, "stream_cursors")?;
+        if stream_cursors.len() != self.stream_cursors.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: {} stream cursors for a {}-stream profile",
+                stream_cursors.len(),
+                self.stream_cursors.len()
+            )));
+        }
+        self.stream_cursors = stream_cursors;
+        self.stride_cursor = decode(state, "stride_cursor")?;
+        self.active_stream = decode(state, "active_stream")?;
+        self.burst_left = decode(state, "burst_left")?;
+        self.region_base = decode(state, "region_base")?;
+        self.region_left = decode(state, "region_left")?;
+        if self.active_stream >= self.stream_cursors.len() {
+            return Err(de::Error::custom(format!(
+                "snapshot: active stream {} out of range",
+                self.active_stream
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -317,5 +362,39 @@ mod tests {
     #[should_panic(expected = "smaller than working set")]
     fn slice_must_hold_working_set() {
         let _ = SpecTrace::new(profile(stream_only()), 0, 1 << 20, 3);
+    }
+
+    #[test]
+    fn snapshot_resumes_identical_stream() {
+        // All five pattern engines active so every cursor is exercised.
+        let w = PatternWeights {
+            stream: 1.0,
+            stride: 1.0,
+            random: 1.0,
+            reuse: 1.0,
+            region: 1.0,
+        };
+        let mut a = SpecTrace::new(profile(w), 0, 64 << 20, 42);
+        for _ in 0..5_000 {
+            a.next_op();
+        }
+        let state = a.save_state();
+        let mut b = SpecTrace::new(profile(w), 0, 64 << 20, 42);
+        b.restore_state(&state).unwrap();
+        for _ in 0..5_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_profile() {
+        let mut a = SpecTrace::new(profile(stream_only()), 0, 64 << 20, 42);
+        let state = a.save_state();
+        let mut p = profile(stream_only());
+        p.streams = 2; // different stream count than the snapshot
+        let mut b = SpecTrace::new(p, 0, 64 << 20, 42);
+        let err = b.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("stream cursors"));
+        assert!(a.restore_state(&Value::Null).is_err());
     }
 }

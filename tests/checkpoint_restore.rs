@@ -1,0 +1,170 @@
+//! Checkpoint/restore and rollback-and-retry integration tests.
+//!
+//! The determinism contract (ISSUE acceptance): run to cycle K,
+//! snapshot to disk, rebuild a fresh machine from the file, continue —
+//! final stats must be bit-identical to the uninterrupted run, for every
+//! PAPER scheme. Plus the recovery e2e: a fault-injected watchdog trip
+//! completes via rollback when recovery is enabled, and propagates the
+//! original typed error when it is not.
+
+use camps::experiment::{resume_mix, run_mix_recoverable};
+use camps::recovery::{read_snapshot, write_snapshot, RecoveryPolicy, SNAPSHOT_FORMAT_VERSION};
+use camps::System;
+use camps_sim::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("camps-checkpoint-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn tiny() -> RunLength {
+    RunLength {
+        warmup_instructions: 2_000,
+        instructions: 6_000,
+        max_cycles: 2_000_000,
+    }
+}
+
+#[test]
+fn snapshot_restore_is_deterministic_for_every_paper_scheme() {
+    let cfg = SystemConfig::paper_default();
+    let mix = Mix::by_id("HM1").expect("known mix");
+    for scheme in SchemeKind::PAPER {
+        let path = tmp(&format!("determinism-{scheme:?}.ckpt.json"));
+        let policy = RecoveryPolicy {
+            max_recoveries: 0,
+            checkpoint_every: Some(8_000),
+            checkpoint_path: Some(path.clone()),
+        };
+        let (full, report) =
+            run_mix_recoverable(&cfg, mix, scheme, &tiny(), 0xFEED, &policy).expect("clean run");
+        assert!(
+            report.checkpoints_taken > 0,
+            "{scheme:?}: run finished without leaving a checkpoint"
+        );
+        // Fresh machine, rebuilt from config + manifest, state overlaid
+        // from the file, run to completion.
+        let resumed = resume_mix(&cfg, &path).expect("resume");
+        assert_eq!(full.ipc, resumed.ipc, "{scheme:?}: per-core IPC drifted");
+        assert_eq!(
+            full.cycles, resumed.cycles,
+            "{scheme:?}: cycle count drifted"
+        );
+        assert_eq!(
+            full.vaults, resumed.vaults,
+            "{scheme:?}: vault stats drifted"
+        );
+        assert_eq!(full.amat_mem, resumed.amat_mem, "{scheme:?}: AMAT drifted");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn watchdog_trip_with_recovery_enabled_completes_via_rollback() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.faults.stall_vault = 3;
+    cfg.faults.stall_vault_from = 1;
+    cfg.integrity.watchdog_cycles = 20_000;
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let policy = RecoveryPolicy {
+        max_recoveries: 2,
+        checkpoint_every: Some(10_000),
+        checkpoint_path: None,
+    };
+    let (result, report) =
+        run_mix_recoverable(&cfg, mix, SchemeKind::CampsMod, &tiny(), 0xFEED, &policy)
+            .expect("recovery must complete the run");
+    assert!(report.recovered(), "the stall must force a rollback");
+    assert_eq!(report.events[0].attempt, 1);
+    assert!(
+        report.events[0].error.contains("no forward progress"),
+        "report must carry the watchdog diagnosis: {:?}",
+        report.events[0]
+    );
+    assert!(result.cycles > 0 && result.ipc.iter().all(|&i| i > 0.0));
+}
+
+#[test]
+fn watchdog_trip_with_zero_budget_propagates_the_typed_error() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.faults.stall_vault = 3;
+    cfg.faults.stall_vault_from = 1;
+    cfg.integrity.watchdog_cycles = 20_000;
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let policy = RecoveryPolicy {
+        max_recoveries: 0,
+        checkpoint_every: Some(10_000),
+        checkpoint_path: None,
+    };
+    let err = run_mix_recoverable(&cfg, mix, SchemeKind::CampsMod, &tiny(), 0xFEED, &policy)
+        .expect_err("no budget: the wedge must propagate");
+    assert!(
+        matches!(err, SimError::Watchdog(_)),
+        "the original typed error must survive, got {err}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Committed-fixture compatibility: a snapshot written by an earlier
+// build must keep restoring. CI runs `committed_fixture_restores…` on
+// every push; regenerate with
+// `cargo test --test checkpoint_restore -- --ignored` when the format
+// version is bumped (and bump SNAPSHOT_FORMAT_VERSION when layout
+// changes).
+// ---------------------------------------------------------------------
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/checkpoint_v1.json")
+}
+
+/// The exact machine the fixture was generated from. Restores must
+/// rebuild from an identical config or the manifest hash check fires.
+/// Auditing is pinned on: debug builds audit unconditionally, so a
+/// fixture captured with auditing off would replay its in-flight
+/// requests as false `UnknownCompletion` violations there.
+fn fixture_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.integrity.audit = true;
+    cfg
+}
+
+const FIXTURE_MIX: &str = "HM1";
+const FIXTURE_SEED: u64 = 0xF1C;
+
+#[test]
+#[ignore = "regenerates the committed fixture; run manually"]
+fn generate_checkpoint_fixture() {
+    let cfg = fixture_cfg();
+    let mix = Mix::by_id(FIXTURE_MIX).expect("known mix");
+    let capacity = cfg
+        .hmc
+        .address_mapping()
+        .expect("valid mapping")
+        .capacity_bytes();
+    let traces = mix.build_traces(capacity, FIXTURE_SEED).expect("traces");
+    let mut sys = System::new(&cfg, SchemeKind::Camps, traces).expect("system");
+    let mut run = sys.run_begin(3_000, 2_000_000);
+    while sys.now() < 1_500 {
+        assert!(sys.run_step(&mut run).expect("step"), "run ended too early");
+    }
+    write_snapshot(&fixture_path(), &sys, &run, FIXTURE_MIX, FIXTURE_SEED).expect("write fixture");
+}
+
+#[test]
+fn committed_fixture_restores_and_completes() {
+    let path = fixture_path();
+    let (manifest, _state) = read_snapshot(&path).expect("fixture must verify");
+    assert_eq!(manifest.format, SNAPSHOT_FORMAT_VERSION);
+    assert_eq!(manifest.mix_id, FIXTURE_MIX);
+    assert_eq!(manifest.seed, FIXTURE_SEED);
+    let result = resume_mix(&fixture_cfg(), &path).expect("fixture must resume");
+    assert_eq!(result.mix_id, FIXTURE_MIX);
+    assert_eq!(result.ipc.len(), 8);
+    assert!(
+        result.cycles > manifest.cycle,
+        "the resumed run must continue past the checkpoint cycle"
+    );
+    assert!(result.ipc.iter().all(|&i| i > 0.0 && i <= 4.0));
+}

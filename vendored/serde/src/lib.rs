@@ -387,3 +387,17 @@ impl<T: Deserialize> Deserialize for Box<T> {
         T::from_value(v).map(Box::new)
     }
 }
+
+impl Serialize for Value {
+    /// Identity: a value tree is already in serialized form. Lets raw
+    /// `Value`s (e.g. snapshot state) pass through `serde_json` directly.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

@@ -78,8 +78,18 @@ fn write_value(
         Value::U64(x) => out.push_str(&x.to_string()),
         Value::I64(x) => out.push_str(&x.to_string()),
         Value::F64(x) => {
+            // Python-style extension: bare `Infinity` / `-Infinity` / `NaN`
+            // tokens, matched by the parser below. Snapshot state contains
+            // unsampled `Running` stats whose min/max are infinite.
             if !x.is_finite() {
-                return Err(Error::new("non-finite f64 is not representable in JSON"));
+                out.push_str(if x.is_nan() {
+                    "NaN"
+                } else if *x > 0.0 {
+                    "Infinity"
+                } else {
+                    "-Infinity"
+                });
+                return Ok(());
             }
             let s = x.to_string();
             out.push_str(&s);
@@ -195,6 +205,8 @@ impl Parser<'_> {
             Some(b't') => self.parse_keyword("true", Value::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
             Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'I') => self.parse_keyword("Infinity", Value::F64(f64::INFINITY)),
+            Some(b'N') => self.parse_keyword("NaN", Value::F64(f64::NAN)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
             other => Err(Error::new(format!(
                 "unexpected {other:?} at byte {} of JSON input",
@@ -220,6 +232,9 @@ impl Parser<'_> {
         let mut is_float = false;
         if self.peek() == Some(b'-') {
             self.pos += 1;
+            if self.peek() == Some(b'I') {
+                return self.parse_keyword("Infinity", Value::F64(f64::NEG_INFINITY));
+            }
         }
         while let Some(c) = self.peek() {
             match c {
