@@ -1,0 +1,274 @@
+//! `throughput` — engine throughput benchmark (simulated cycles/second).
+//!
+//! Runs the same workloads under the polling and event engines, records
+//! wall-clock time and simulated cycles for each, verifies the two
+//! engines stayed bit-identical, and writes the numbers to
+//! `BENCH_engine.json`. Workloads cover both extremes:
+//!
+//! * `HM1` / `LM1` — real paper mixes (memory-busy; modest skipping),
+//! * `idle-heavy` — a synthetic trace whose ROB fills with compute
+//!   behind one outstanding load, so the machine sleeps for whole memory
+//!   round trips at a time; this is where time-skipping shines.
+//!
+//! ```text
+//! cargo run --release -p camps-bench --bin throughput [-- --out FILE]
+//! cargo run --release -p camps-bench --bin throughput -- --check ci/perf_baseline.json
+//! ```
+//!
+//! `--check` reruns the `idle-heavy` workload only and exits nonzero if
+//! the measured event-engine advantage (wall-clock speedup over polling)
+//! falls below 80% of the committed baseline's — a portable regression
+//! gate: absolute cycles/sec vary across machines, the *ratio* between
+//! two engines on the same machine does not.
+
+use camps::metrics::RunResult;
+use camps::system::Engine;
+use camps::System;
+use camps_cpu::trace::{TraceOp, TraceSource, VecTrace};
+use camps_prefetch::SchemeKind;
+use camps_types::addr::PhysAddr;
+use camps_types::config::SystemConfig;
+use camps_workloads::Mix;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Instructions per core for the measured runs.
+const INSTRUCTIONS: u64 = 60_000;
+/// Cycle cap (generous; the idle-heavy trace is latency-bound).
+const MAX_CYCLES: u64 = 40_000_000;
+/// `--check` fails when the measured speedup drops below this fraction
+/// of the committed baseline's speedup.
+const CHECK_FLOOR: f64 = 0.8;
+
+/// One measured (workload, engine) cell.
+struct Sample {
+    workload: &'static str,
+    engine: &'static str,
+    cycles: u64,
+    wall_secs: f64,
+}
+
+impl Sample {
+    fn mcycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_secs.max(1e-9) / 1e6
+    }
+}
+
+/// The config a workload runs under. The paper mixes use the Table I
+/// machine untouched; `idle-heavy` narrows it to one core so the whole
+/// machine genuinely sleeps between memory round trips.
+fn config_for(workload: &str) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    if workload == "idle-heavy" {
+        // One narrow core: a single outstanding row-miss load at a time,
+        // with only rob/issue_width cycles of retire work per round trip —
+        // the machine spends most wall-cycles fully asleep.
+        cfg.cpu.cores = 1;
+        cfg.cpu.rob_entries = 64;
+    }
+    cfg
+}
+
+/// The traces a workload feeds its cores.
+fn traces_for(cfg: &SystemConfig, workload: &str, seed: u64) -> Vec<Box<dyn TraceSource>> {
+    if workload == "idle-heavy" {
+        // Each load is preceded by enough compute to fill the ROB, so the
+        // core goes quiescent for the whole memory round trip. Strided
+        // across rows so every access misses the caches.
+        let gap = cfg.cpu.rob_entries - 1;
+        return (0..cfg.cpu.cores)
+            .map(|c| {
+                let ops: Vec<TraceOp> = (0..2048u64)
+                    .map(|i| TraceOp::load(gap, PhysAddr((u64::from(c) << 32) + i * (1 << 19))))
+                    .collect();
+                Box::new(VecTrace::new(format!("idle{c}"), ops)) as Box<dyn TraceSource>
+            })
+            .collect();
+    }
+    let mix = Mix::by_id(workload).expect("known mix");
+    let capacity = cfg
+        .hmc
+        .address_mapping()
+        .expect("valid mapping")
+        .capacity_bytes();
+    mix.build_traces(capacity, seed).expect("traces build")
+}
+
+/// Runs `workload` under `engine`, returning the sample and the result
+/// (for cross-engine identity checking).
+fn measure(workload: &'static str, engine: Engine) -> Result<(Sample, RunResult), String> {
+    let cfg = config_for(workload);
+    let mut sys = System::new(&cfg, SchemeKind::Camps, traces_for(&cfg, workload, 11))
+        .map_err(|e| format!("{workload}: {e}"))?;
+    sys.set_engine(engine);
+    sys.warmup(2_000);
+    let start = Instant::now();
+    let result = sys
+        .run(INSTRUCTIONS, MAX_CYCLES, workload)
+        .map_err(|e| format!("{workload}: {e}"))?;
+    let wall_secs = start.elapsed().as_secs_f64();
+    let name = match engine {
+        Engine::Polling => "polling",
+        Engine::Event => "event",
+    };
+    Ok((
+        Sample {
+            workload,
+            engine: name,
+            cycles: result.cycles,
+            wall_secs,
+        },
+        result,
+    ))
+}
+
+/// Measures one workload under both engines and asserts bit-identity.
+fn measure_pair(workload: &'static str) -> Result<(Sample, Sample), String> {
+    let (polled, rp) = measure(workload, Engine::Polling)?;
+    let (evented, re) = measure(workload, Engine::Event)?;
+    let a = serde_json::to_string(&rp).map_err(|e| e.to_string())?;
+    let b = serde_json::to_string(&re).map_err(|e| e.to_string())?;
+    if a != b {
+        return Err(format!("{workload}: engines diverged — refusing to bench"));
+    }
+    Ok((polled, evented))
+}
+
+fn render(pairs: &[(Sample, Sample)]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"engine-throughput\",\n");
+    out.push_str(&format!(
+        "  \"instructions_per_core\": {INSTRUCTIONS},\n  \"entries\": [\n"
+    ));
+    let mut first = true;
+    for (p, e) in pairs {
+        for s in [p, e] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"cycles\": {}, \
+                 \"wall_secs\": {:.4}, \"mcycles_per_sec\": {:.2}}}",
+                s.workload,
+                s.engine,
+                s.cycles,
+                s.wall_secs,
+                s.mcycles_per_sec()
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"speedups\": [\n");
+    for (i, (p, e)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"event_over_polling\": {:.3}}}",
+            p.workload,
+            p.wall_secs / e.wall_secs.max(1e-9)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Pulls `"event_over_polling"` for `workload` out of a baseline file
+/// written by this binary (matching is textual; the format is ours).
+fn baseline_speedup(text: &str, workload: &str) -> Option<f64> {
+    let needle = format!("\"workload\": \"{workload}\", \"event_over_polling\": ");
+    let at = text.find(&needle)? + needle.len();
+    let rest = &text[at..];
+    let end = rest.find(['}', ','])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => {
+                    eprintln!("--check needs a baseline file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}` (try --out FILE | --check FILE)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        // Regression gate: idle-heavy only, ratio vs the committed baseline.
+        let baseline_text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("throughput: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(expected) = baseline_speedup(&baseline_text, "idle-heavy") else {
+            eprintln!("throughput: baseline {path} has no idle-heavy speedup");
+            return ExitCode::FAILURE;
+        };
+        let (p, e) = match measure_pair("idle-heavy") {
+            Ok(pair) => pair,
+            Err(err) => {
+                eprintln!("throughput: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let measured = p.wall_secs / e.wall_secs.max(1e-9);
+        let floor = expected * CHECK_FLOOR;
+        println!(
+            "idle-heavy event/polling speedup: measured {measured:.2}x, \
+             baseline {expected:.2}x, floor {floor:.2}x"
+        );
+        if measured < floor {
+            eprintln!("throughput: event-engine speedup regressed >20% vs baseline");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut pairs = Vec::new();
+    for workload in ["idle-heavy", "HM1", "LM1"] {
+        match measure_pair(workload) {
+            Ok((p, e)) => {
+                println!(
+                    "{workload:>10}: polling {:8.2} Mcyc/s ({:.2}s) | event {:8.2} Mcyc/s \
+                     ({:.2}s) | speedup {:.2}x",
+                    p.mcycles_per_sec(),
+                    p.wall_secs,
+                    e.mcycles_per_sec(),
+                    e.wall_secs,
+                    p.wall_secs / e.wall_secs.max(1e-9)
+                );
+                pairs.push((p, e));
+            }
+            Err(err) => {
+                eprintln!("throughput: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let rendered = render(&pairs);
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("throughput: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

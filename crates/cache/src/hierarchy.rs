@@ -173,6 +173,15 @@ impl CacheHierarchy {
     }
 }
 
+impl camps_types::wake::Wake for CacheHierarchy {
+    /// The hierarchy is functional-with-latency: every state change happens
+    /// synchronously inside an `access`/`fill` call from the memory
+    /// subsystem. It has no timers of its own.
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+}
+
 fn save_level(caches: &[Cache]) -> Value {
     Value::Seq(caches.iter().map(Snapshot::save_state).collect())
 }

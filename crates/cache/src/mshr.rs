@@ -107,6 +107,15 @@ impl MshrFile {
     }
 }
 
+impl camps_types::wake::Wake for MshrFile {
+    /// MSHRs hold waiters, not timers: entries complete when the cube
+    /// delivers a response (an event the memory subsystem already wakes
+    /// on), so the file itself never needs a tick.
+    fn next_event(&self, _now: camps_types::clock::Cycle) -> Option<camps_types::clock::Cycle> {
+        None
+    }
+}
+
 impl Snapshot for MshrFile {
     fn save_state(&self) -> Value {
         // In-flight blocks sorted by address for deterministic output;

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! camps run   <MIX> <SCHEME> [--scale quick|standard|thorough] [--seed N] [--json]
+//!             [--engine polling|event]
 //!             [--checkpoint-every CYCLES] [--checkpoint-path FILE] [--max-recoveries N]
 //! camps run   --resume <FILE> [--json]   # continue a checkpointed run
 //! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
 //! camps list                    # available mixes, schemes, benchmarks
 //! camps config                  # dump the Table I configuration as JSON
 //! ```
+//!
+//! `--engine` selects the stepping strategy (default `event`). Both
+//! engines produce bit-identical results; `polling` ticks every cycle
+//! and is kept as the slow reference path.
 //!
 //! The JSON output is the serialized [`camps::metrics::RunResult`] —
 //! machine-consumable for plotting pipelines.
@@ -18,9 +23,12 @@
 //! watchdog/integrity failures (0, the default, disables recovery, so
 //! the original typed error propagates and the process exits nonzero).
 
-use camps::experiment::{resume_mix, run_matrix, run_mix, run_mix_recoverable, RunLength};
+use camps::experiment::{
+    resume_mix, run_matrix, run_mix_recoverable, run_mix_with_engine, RunLength,
+};
 use camps::metrics::{average_speedup, speedup_table, RunResult};
 use camps::recovery::RecoveryPolicy;
+use camps::system::Engine;
 use camps_prefetch::SchemeKind;
 use camps_types::config::SystemConfig;
 use camps_workloads::{Mix, ALL_MIXES};
@@ -38,6 +46,7 @@ struct Options {
     checkpoint_path: Option<PathBuf>,
     max_recoveries: u32,
     resume: Option<PathBuf>,
+    engine: Engine,
 }
 
 fn parse_scheme(s: &str) -> Option<SchemeKind> {
@@ -63,6 +72,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         checkpoint_path: None,
         max_recoveries: 0,
         resume: None,
+        engine: Engine::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -116,6 +126,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--resume" => {
                 opts.resume = Some(PathBuf::from(it.next().ok_or("--resume needs a file")?));
+            }
+            "--engine" => {
+                opts.engine = it.next().ok_or("--engine needs polling|event")?.parse()?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -223,7 +236,7 @@ fn main() -> ExitCode {
                     }
                 }
             } else {
-                match run_mix(&cfg, mix, scheme, &opts.scale, opts.seed) {
+                match run_mix_with_engine(&cfg, mix, scheme, &opts.scale, opts.seed, opts.engine) {
                     Ok(r) => r,
                     Err(e) => {
                         eprintln!("camps: run failed: {e}");
@@ -273,6 +286,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: camps <run|sweep|list|config> …\n\
                  \n  camps run HM1 campsmod --scale quick --json\
+                 \n  camps run HM1 campsmod --engine polling   # slow reference engine\
                  \n  camps run HM1 campsmod --checkpoint-every 1000000 --max-recoveries 3\
                  \n  camps run --resume camps.ckpt.json\
                  \n  camps sweep --mixes HM1,LM1 --schemes base,campsmod\

@@ -7,7 +7,7 @@ use crate::metrics::RunResult;
 use crate::recovery::{
     read_snapshot, restore_run, run_with_recovery, scheme_from_name, RecoveryPolicy, RecoveryReport,
 };
-use crate::system::System;
+use crate::system::{Engine, System};
 use camps_prefetch::SchemeKind;
 use camps_types::clock::Cycle;
 use camps_types::config::SystemConfig;
@@ -75,9 +75,27 @@ pub fn run_mix(
     len: &RunLength,
     seed: u64,
 ) -> Result<RunResult, SimError> {
+    run_mix_with_engine(cfg, mix, scheme, len, seed, Engine::default())
+}
+
+/// [`run_mix`] with an explicit stepping [`Engine`] — the two engines
+/// produce bit-identical results; `Engine::Polling` is the slower
+/// reference path kept as an escape hatch and equivalence oracle.
+///
+/// # Errors
+/// As [`run_mix`].
+pub fn run_mix_with_engine(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    scheme: SchemeKind,
+    len: &RunLength,
+    seed: u64,
+    engine: Engine,
+) -> Result<RunResult, SimError> {
     let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
     let traces = mix.build_traces(capacity, seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
+    sys.set_engine(engine);
     sys.warmup(len.warmup_instructions);
     sys.run(len.instructions, len.max_cycles, mix.id)
 }

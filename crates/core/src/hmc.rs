@@ -15,6 +15,7 @@ use camps_types::config::{FaultPlan, SystemConfig};
 use camps_types::error::{SimError, VaultSnapshot};
 use camps_types::request::{MemRequest, MemResponse};
 use camps_types::snapshot::{decode, field, Snapshot};
+use camps_types::wake::{fold_wake, Wake};
 use camps_vault::{VaultController, VaultStats};
 use serde::value::Value;
 use serde::{de, Serialize as _};
@@ -116,6 +117,10 @@ impl HmcDevice {
     /// Advances the cube one CPU cycle; responses delivered to the host at
     /// `now` are appended to `out`.
     pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        debug_assert!(
+            self.vault_out.is_empty(),
+            "vault scratch not drained between ticks"
+        );
         self.return_tokens(now);
         self.launch_requests(now);
         self.deliver_requests(now);
@@ -325,6 +330,62 @@ impl HmcDevice {
                 snap
             })
             .collect()
+    }
+}
+
+impl Wake for HmcDevice {
+    /// Earliest cycle at which the cube can make progress: the heads of
+    /// the three timestamped heaps (token returns, in-flight requests,
+    /// in-flight responses), an immediate wake whenever a queue head could
+    /// launch this instant (host queue with link tokens free, response
+    /// queue with response tokens free, or any non-empty vault retry queue
+    /// — retries probe the prefetch buffer and count lookups, so they must
+    /// run every cycle), and the earliest wake of every vault. Token-blocked
+    /// queue heads need no wake of their own: the tokens they wait for are
+    /// always represented by a pending `token_returns` entry.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let next = now + 1;
+        // Cheapest immediate-wake sources first: once the answer is
+        // `now + 1` nothing can beat it, so stop scanning.
+        if self.vault_retry.iter().any(|q| !q.is_empty()) {
+            return Some(next);
+        }
+        if let Some(&req) = self.host_queue.front() {
+            let packet = Packet::request(req, &self.link_cfg, self.block_bytes);
+            if self.req_links.pick(packet.flits).is_some() {
+                return Some(next);
+            }
+        }
+        if let Some(&resp) = self.resp_queue.front() {
+            let req = MemRequest {
+                id: resp.id,
+                addr: resp.addr,
+                kind: resp.kind,
+                core: resp.core,
+                created_at: resp.created_at,
+            };
+            let packet = Packet::response(req, &self.link_cfg, self.block_bytes);
+            if self.resp_links.pick(packet.flits).is_some() {
+                return Some(next);
+            }
+        }
+        let mut wake: Option<Cycle> = None;
+        if let Some(Reverse((at, _, _, _))) = self.token_returns.peek() {
+            fold_wake(&mut wake, now, Some(*at));
+        }
+        if let Some(Reverse((at, _, _))) = self.inflight_req.peek() {
+            fold_wake(&mut wake, now, Some(*at));
+        }
+        if let Some(Reverse((at, _, _))) = self.inflight_resp.peek() {
+            fold_wake(&mut wake, now, Some(*at));
+        }
+        for v in &self.vaults {
+            fold_wake(&mut wake, now, v.next_event(now));
+            if wake == Some(next) {
+                break;
+            }
+        }
+        wake
     }
 }
 

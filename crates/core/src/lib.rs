@@ -40,11 +40,12 @@ pub mod system;
 
 pub use audit::RequestAuditor;
 pub use experiment::{
-    resume_mix, run_matrix, run_mix, run_mix_recoverable, run_replicated, Replicated, RunLength,
+    resume_mix, run_matrix, run_mix, run_mix_recoverable, run_mix_with_engine, run_replicated,
+    Replicated, RunLength,
 };
 pub use hmc::HmcDevice;
 pub use metrics::{fairness, Fairness, RunResult};
 pub use recovery::{
     read_snapshot, run_with_recovery, write_snapshot, RecoveryEvent, RecoveryPolicy, RecoveryReport,
 };
-pub use system::System;
+pub use system::{Engine, System};

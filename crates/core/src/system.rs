@@ -15,6 +15,7 @@ use camps_types::config::{FaultPlan, SystemConfig};
 use camps_types::error::{IntegrityError, SimError, WatchdogReport};
 use camps_types::request::{AccessKind, CoreId, MemRequest, RequestId};
 use camps_types::snapshot::{decode, field, Snapshot};
+use camps_types::wake::{fold_wake, Wake};
 use serde::value::Value;
 use serde::{de, Serialize as _};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -172,9 +173,14 @@ impl MemorySubsystem {
         self.writeback_q.len()
     }
 
-    /// Advances the memory side one cycle; returns `(core, slot)` pairs
-    /// whose loads completed this cycle.
-    pub fn tick(&mut self, now: Cycle) -> Vec<(CoreId, u64)> {
+    /// Advances the memory side one cycle; `(core, slot)` pairs whose
+    /// loads completed this cycle are appended to `woken` (the caller
+    /// owns the vector so the hot loop reuses one allocation).
+    pub fn tick(&mut self, now: Cycle, woken: &mut Vec<(CoreId, u64)>) {
+        debug_assert!(
+            self.wb_scratch.is_empty(),
+            "writeback scratch not drained between ticks"
+        );
         // Drain pending L3 writebacks into the cube as posted writes.
         while let Some(&wb) = self.writeback_q.front() {
             if self.hmc.headroom() == 0 {
@@ -196,7 +202,6 @@ impl MemorySubsystem {
         let mut responses = std::mem::take(&mut self.resp_scratch);
         self.hmc.tick(now, &mut responses);
 
-        let mut woken = Vec::new();
         for resp in &responses {
             if resp.push {
                 // Unsolicited LLC push (ablation): fill the shared cache,
@@ -258,7 +263,6 @@ impl MemorySubsystem {
             }
         }
         self.resp_scratch = responses;
-        woken
     }
 
     /// True while memory-side work remains.
@@ -298,6 +302,20 @@ impl MemorySubsystem {
             debug_assert!(accepted, "headroom was checked");
             self.core_pf_issued += 1;
         }
+    }
+}
+
+impl Wake for MemorySubsystem {
+    /// The memory side wakes with the cube, plus an immediate wake while
+    /// queued L3 writebacks can drain into free host-queue headroom (the
+    /// drain runs at the top of every tick). MSHRs and caches hold no
+    /// timers of their own — their state only changes when the cube
+    /// delivers a response, which the cube's own wake already covers.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.writeback_q.is_empty() && self.hmc.headroom() > 0 {
+            return Some(now + 1);
+        }
+        self.hmc.next_event(now)
     }
 }
 
@@ -511,6 +529,40 @@ impl Snapshot for RunState {
     }
 }
 
+/// Stepping strategy of the run loop.
+///
+/// Both engines execute the exact same per-cycle tick body and produce
+/// bit-identical results; they differ only in which cycles they visit.
+/// The polling engine visits every cycle. The event engine asks each
+/// component for its next wake time ([`camps_types::wake::Wake`]) and
+/// jumps straight there, charging the skipped cycles to the cores' idle
+/// accounting in bulk ([`Core::skip_idle`]).
+///
+/// The engine is a property of the *driver*, not the machine: it is not
+/// part of [`SystemConfig`], does not enter the snapshot config hash,
+/// and is not serialized, so a snapshot taken under one engine restores
+/// under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tick every cycle (the reference engine).
+    Polling,
+    /// Skip to the next wake time (bit-identical, much faster when idle).
+    #[default]
+    Event,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "polling" => Ok(Self::Polling),
+            "event" => Ok(Self::Event),
+            other => Err(format!("unknown engine `{other}` (polling|event)")),
+        }
+    }
+}
+
 /// The whole machine plus the run loop.
 pub struct System {
     cfg: SystemConfig,
@@ -518,6 +570,16 @@ pub struct System {
     mem: MemorySubsystem,
     scheme: SchemeKind,
     now: Cycle,
+    /// Stepping strategy; never serialized (snapshots are engine-neutral).
+    engine: Engine,
+    /// Scratch for completed-load wakeups, reused across `run_step`s.
+    woken_scratch: Vec<(CoreId, u64)>,
+    /// Event-engine scan backoff: cycles left before the next wake scan.
+    /// When a scan finds nothing skippable, rescanning every cycle only
+    /// burns time on dense mixes — ticking without scanning is always
+    /// correct (it *is* the polling engine), so we pause the scan for a
+    /// few cycles. Never serialized (engine-local pacing state).
+    scan_backoff: u64,
 }
 
 impl System {
@@ -554,7 +616,21 @@ impl System {
             mem: MemorySubsystem::new(cfg, scheme)?,
             scheme,
             now: 0,
+            engine: Engine::default(),
+            woken_scratch: Vec::new(),
+            scan_backoff: 0,
         })
+    }
+
+    /// Selects the stepping strategy for subsequent run loops.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The stepping strategy in force.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Current simulation time.
@@ -663,6 +739,45 @@ impl System {
         if !(state.done_at.iter().any(Option::is_none) && self.now < state.deadline) {
             return Ok(false);
         }
+        if self.engine == Engine::Event && self.scan_backoff > 0 {
+            self.scan_backoff -= 1;
+        } else if self.engine == Engine::Event {
+            // Jump to the cycle before the earliest pending event, charging
+            // the skipped cycles to the cores' idle accounting in bulk. The
+            // wake contract is conservative (never late), so the tick below
+            // lands on — or before — the first cycle where anything can
+            // happen, and the tick body is the same as the polling engine's.
+            let next = self.now + 1;
+            let mut wake: Option<Cycle> = None;
+            for core in &self.cores {
+                fold_wake(&mut wake, self.now, core.next_event(self.now));
+                if wake == Some(next) {
+                    break; // can't skip anything; don't scan the memory side
+                }
+            }
+            if wake != Some(next) {
+                fold_wake(&mut wake, self.now, self.mem.next_event(self.now));
+            }
+            if wake != Some(next) && self.cfg.integrity.watchdog_cycles > 0 {
+                // The watchdog must still fire at the exact polling cycle
+                // even when every component sleeps past it.
+                let fire = state.stalled_since + self.cfg.integrity.watchdog_cycles;
+                fold_wake(&mut wake, self.now, Some(fire));
+            }
+            let target = wake.unwrap_or(state.deadline).min(state.deadline).max(next);
+            let skipped = target - self.now - 1;
+            if skipped > 0 {
+                for core in &mut self.cores {
+                    core.skip_idle(skipped);
+                }
+                self.now = target - 1;
+            } else {
+                // Nothing skippable: the machine is dense right now, and
+                // will usually stay dense for a while. Tick scan-free for a
+                // few cycles before probing again.
+                self.scan_backoff = 8;
+            }
+        }
         self.now += 1;
         for (i, core) in self.cores.iter_mut().enumerate() {
             core.tick(self.now, &mut self.mem);
@@ -670,7 +785,10 @@ impl System {
                 state.done_at[i] = Some(self.now - state.start);
             }
         }
-        for (core, slot) in self.mem.tick(self.now) {
+        self.woken_scratch.clear();
+        self.mem.tick(self.now, &mut self.woken_scratch);
+        for i in 0..self.woken_scratch.len() {
+            let (core, slot) = self.woken_scratch[i];
             // MSHR waiter tokens come back from the memory side; a corrupt
             // token must surface as a typed error, not an index panic.
             let Some(c) = self.cores.get_mut(usize::from(core.0)) else {
@@ -1077,7 +1195,7 @@ mod port_tests {
         let mut now = 0;
         while woken.is_empty() && now < 100_000 {
             now += 1;
-            woken = m.tick(now);
+            m.tick(now, &mut woken);
         }
         assert_eq!(woken, vec![(CoreId(1), 42)]);
         // The fill landed: the same load now hits on-chip.
@@ -1102,7 +1220,7 @@ mod port_tests {
         let mut now = 0;
         while woken.len() < 2 && now < 100_000 {
             now += 1;
-            woken.extend(m.tick(now));
+            m.tick(now, &mut woken);
         }
         assert_eq!(woken.len(), 2, "both waiters wake from one response");
         assert_eq!(m.mem_reads, 1, "MSHR merging must collapse the reads");
@@ -1137,9 +1255,10 @@ mod port_tests {
             "posted store accepted"
         );
         let mut now = 0;
+        let mut sink = Vec::new();
         while m.busy() && now < 200_000 {
             now += 1;
-            let _ = m.tick(now);
+            m.tick(now, &mut sink);
         }
         // The block was fetched (write-allocate read) and filled dirty:
         // a later load hits on-chip.
@@ -1168,16 +1287,17 @@ mod port_tests {
         let mut woken = Vec::new();
         while woken.is_empty() && now < 100_000 {
             now += 1;
-            woken = m.tick(now);
+            m.tick(now, &mut woken);
         }
         let retry_at = now + 5;
         assert_eq!(
             m.load(retry_at, CoreId(0), 2, PhysAddr(0x1000)),
             PortResult::Accepted
         );
+        woken.clear();
         while m.busy() {
             now += 1;
-            let _ = m.tick(now);
+            m.tick(now, &mut woken);
         }
         // The second load's recorded latency starts at the first attempt
         // (cycle 10), not the retry: its sample must exceed the retry gap.
@@ -1200,9 +1320,10 @@ mod core_prefetch_tests {
         let _ = m.load(0, CoreId(0), 1, PhysAddr(0));
         assert_eq!(m.core_pf_issued, 2);
         let mut now = 0;
+        let mut sink = Vec::new();
         while m.busy() && now < 200_000 {
             now += 1;
-            let _ = m.tick(now);
+            m.tick(now, &mut sink);
         }
         // The next block is now an on-chip (L3) hit without any demand
         // having touched it.

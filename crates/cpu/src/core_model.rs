@@ -7,6 +7,7 @@ use camps_types::clock::Cycle;
 use camps_types::config::CpuConfig;
 use camps_types::request::{AccessKind, CoreId};
 use camps_types::snapshot::{decode, field, Snapshot};
+use camps_types::wake::Wake;
 use serde::value::Value;
 use serde::{de, Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
@@ -126,6 +127,10 @@ pub struct Core {
     trace: Box<dyn TraceSource>,
     next_slot: u64,
     completed: HashSet<u64>,
+    /// Count of `Stalled*` ROB entries, kept so [`Wake::next_event`] is
+    /// O(1) instead of scanning the ROB. Derived from `rob` — not
+    /// serialized; recomputed on restore.
+    stalled_entries: usize,
     stats: CoreStats,
 }
 
@@ -146,6 +151,7 @@ impl Core {
             trace,
             next_slot: 0,
             completed: HashSet::new(),
+            stalled_entries: 0,
             stats: CoreStats::default(),
         }
     }
@@ -187,6 +193,36 @@ impl Core {
         self.completed.insert(slot);
     }
 
+    /// Accounts for `cycles` skipped cycles during which this core was
+    /// quiescent (the event engine's bulk replay of what per-cycle polling
+    /// would have recorded): every skipped cycle counts as simulated, and
+    /// if the ROB head is an incomplete load each one is a memory stall —
+    /// exactly what [`Core::tick`] would have done, cycle by cycle.
+    ///
+    /// Only legal when [`Wake::next_event`] deemed the core quiescent past
+    /// the skipped range (debug-asserted).
+    pub fn skip_idle(&mut self, cycles: u64) {
+        debug_assert!(
+            self.store_buffer.is_empty() && self.rob.len() == self.rob_cap,
+            "skip_idle on a non-quiescent core"
+        );
+        self.stats.cycles.add(cycles);
+        match self.rob.front() {
+            Some(RobEntry::HitLoad(_)) => self.stats.load_stall_cycles.add(cycles),
+            Some(RobEntry::PendingLoad(slot)) => {
+                debug_assert!(
+                    !self.completed.contains(slot),
+                    "skip_idle past a completed load"
+                );
+                self.stats.load_stall_cycles.add(cycles);
+            }
+            // Ready(at > now) blocks retirement without any stall counter
+            // (`retire`'s catch-all break); Stalled* heads are excluded by
+            // the quiescence check in `next_event`.
+            _ => {}
+        }
+    }
+
     /// Advances the core by one cycle against `port`.
     pub fn tick(&mut self, now: Cycle, port: &mut impl MemoryPort) {
         self.stats.cycles.inc();
@@ -205,10 +241,12 @@ impl Core {
                     match port.load(now, self.id, self.next_slot, addr) {
                         PortResult::Hit { latency } => {
                             self.rob[i] = RobEntry::HitLoad(now + latency);
+                            self.stalled_entries -= 1;
                             self.stats.loads.inc();
                         }
                         PortResult::Accepted => {
                             self.rob[i] = RobEntry::PendingLoad(self.next_slot);
+                            self.stalled_entries -= 1;
                             self.next_slot += 1;
                             self.stats.loads.inc();
                         }
@@ -222,6 +260,7 @@ impl Core {
                     if self.store_buffer.len() < self.store_cap {
                         self.store_buffer.push_back(addr);
                         self.rob[i] = RobEntry::Ready(now);
+                        self.stalled_entries -= 1;
                     } else {
                         return;
                     }
@@ -312,6 +351,7 @@ impl Core {
                     }
                     PortResult::Rejected => {
                         self.rob.push_back(RobEntry::StalledLoad(addr));
+                        self.stalled_entries += 1;
                         self.stats.rejections.inc();
                         return;
                     }
@@ -322,10 +362,44 @@ impl Core {
                         self.rob.push_back(RobEntry::Ready(now + 1));
                     } else {
                         self.rob.push_back(RobEntry::StalledStore(addr));
+                        self.stalled_entries += 1;
                         return;
                     }
                 }
             }
+        }
+    }
+}
+
+impl Wake for Core {
+    /// A core must tick on the very next cycle whenever anything in it can
+    /// act: a store waiting to drain, ROB space to issue into (the trace
+    /// never ends, so issue always makes progress), a stalled entry to
+    /// retry against the port, or a retirable head. The only quiescent
+    /// shape is a full ROB whose head is waiting on time (wake at its
+    /// completion cycle) or on a memory response (wake on the response —
+    /// an external event, so `None` here).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.store_buffer.is_empty() || self.rob.len() < self.rob_cap {
+            return Some(now + 1);
+        }
+        debug_assert_eq!(
+            self.stalled_entries,
+            self.rob
+                .iter()
+                .filter(|e| matches!(e, RobEntry::StalledLoad(_) | RobEntry::StalledStore(_)))
+                .count(),
+            "stalled-entry counter drifted from the ROB"
+        );
+        if self.stalled_entries > 0 {
+            return Some(now + 1);
+        }
+        match self.rob.front() {
+            Some(&(RobEntry::Ready(at) | RobEntry::HitLoad(at))) => Some(at.max(now + 1)),
+            Some(&RobEntry::PendingLoad(slot)) => self.completed.contains(&slot).then_some(now + 1),
+            // Stalled heads were handled above; an empty ROB is below
+            // capacity. Conservative fallback: tick next cycle.
+            _ => Some(now + 1),
         }
     }
 }
@@ -354,6 +428,11 @@ impl Snapshot for Core {
             rob.push_back(RobEntry::unpack(tag, payload)?);
         }
         self.rob = rob;
+        self.stalled_entries = self
+            .rob
+            .iter()
+            .filter(|e| matches!(e, RobEntry::StalledLoad(_) | RobEntry::StalledStore(_)))
+            .count();
         self.store_buffer = decode(state, "store_buffer")?;
         self.pending_gap = decode(state, "pending_gap")?;
         self.pending_mem = decode(state, "pending_mem")?;

@@ -9,6 +9,7 @@
 
 use crate::timing::TimingCpu;
 use camps_types::clock::Cycle;
+use camps_types::wake::Wake;
 use serde::{Deserialize, Serialize};
 
 /// How an access relates to the bank's current row-buffer state.
@@ -92,6 +93,27 @@ impl Bank {
     #[must_use]
     pub fn activate_ready_at(&self) -> Cycle {
         self.ready_act.max(self.busy_until)
+    }
+
+    /// Earliest cycle at which [`Bank::can_rdwr`] could become true
+    /// (assuming a row is latched).
+    #[must_use]
+    pub fn rdwr_ready_at(&self) -> Cycle {
+        self.ready_rdwr.max(self.busy_until)
+    }
+
+    /// Earliest cycle at which [`Bank::can_precharge`] could become true
+    /// (assuming a row is latched).
+    #[must_use]
+    pub fn precharge_ready_at(&self) -> Cycle {
+        self.ready_pre.max(self.busy_until)
+    }
+
+    /// The cycle the bank's array/TSV path frees up (row transfers,
+    /// refresh) — the gate behind [`Bank::can_refresh`] on an idle bank.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
     }
 
     /// Issues ACT for `row` at `now`.
@@ -227,6 +249,22 @@ impl Bank {
         );
         self.ready_act = self.ready_act.max(now + t.t_rfc);
         self.busy_until = self.busy_until.max(now + t.t_rfc);
+    }
+}
+
+impl Wake for Bank {
+    /// A bank is passive (commands arrive from the vault scheduler), so its
+    /// wake is the earliest strictly-future timing edge in the current
+    /// state: the next ACT opportunity while idle, or the next RD/WR/PRE
+    /// opportunity while a row is latched. Edges already in the past mean
+    /// the bank is gated only by the scheduler, not by time — `None`.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let edge = if self.open_row.is_some() {
+            self.rdwr_ready_at().min(self.precharge_ready_at())
+        } else {
+            self.activate_ready_at()
+        };
+        (edge > now).then_some(edge)
     }
 }
 

@@ -6,6 +6,7 @@
 //! land inside any tFAW window (a power-delivery limit).
 
 use camps_types::clock::Cycle;
+use camps_types::wake::Wake;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -62,6 +63,14 @@ impl ActWindow {
             self.recent.pop_front();
         }
         self.recent.push_back(now);
+    }
+}
+
+impl Wake for ActWindow {
+    /// The next cycle tRRD/tFAW stop gating an ACT, if they gate one now.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let at = self.earliest_activate();
+        (at > now).then_some(at)
     }
 }
 

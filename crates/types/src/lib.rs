@@ -25,6 +25,7 @@ pub mod config;
 pub mod error;
 pub mod request;
 pub mod snapshot;
+pub mod wake;
 
 pub use addr::{AddressMapping, DecodedAddr, MappingScheme, PhysAddr, RowKey};
 pub use clock::{ClockDomain, Cycle};
@@ -36,3 +37,4 @@ pub use config::{
 pub use error::{ConfigError, IntegrityError, SimError, TraceError, VaultSnapshot, WatchdogReport};
 pub use request::{AccessKind, CoreId, MemRequest, MemResponse, RequestId, ServiceSource};
 pub use snapshot::{fnv1a, Snapshot, SnapshotManifest, SNAPSHOT_FORMAT_VERSION};
+pub use wake::{fold_wake, Wake};

@@ -19,8 +19,11 @@
 //!   serialized; it comes from the rebuilt component.
 
 use crate::clock::Cycle;
-use serde::value::{lookup, Value};
+use serde::value::lookup;
 use serde::{de, Deserialize, Serialize};
+// Re-exported: `Value` appears in the `Snapshot` trait's signatures, so
+// downstream code must be able to name it from here.
+pub use serde::value::Value;
 
 /// Version tag of the on-disk snapshot format. Bump whenever any
 /// component changes its state layout incompatibly; the loader rejects

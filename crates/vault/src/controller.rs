@@ -13,6 +13,7 @@ use camps_types::config::{PagePolicy, SchedulerKind, SystemConfig};
 use camps_types::error::{ConfigError, VaultSnapshot};
 use camps_types::request::{AccessKind, MemRequest, MemResponse, ServiceSource};
 use camps_types::snapshot::{decode, field, Snapshot};
+use camps_types::wake::{fold_wake, Wake};
 use serde::value::Value;
 use serde::{de, Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -863,6 +864,135 @@ impl VaultController {
                 }
             }
         }
+    }
+}
+
+impl Wake for VaultController {
+    /// Folds every engine's earliest actionable cycle: pending responses,
+    /// the refresh state machine, queued demand against bank/bus timing,
+    /// in-flight row fetches, the precharge sweep, and the writeback
+    /// engine. Candidates are conservative lower bounds — a gate that is
+    /// really waiting on another event (e.g. a conflict precharge held off
+    /// by open-row demand) contributes a past-due edge that clamps to
+    /// `now + 1`, costing a no-op tick, never a missed one.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut wake: Option<Cycle> = None;
+        let mut up = |at: Cycle| fold_wake(&mut wake, now, Some(at));
+
+        if let Some(Reverse((at, _, _))) = self.responses.peek() {
+            up(*at);
+        }
+
+        // Refresh: the deadline while idle; while draining, every bank's
+        // path to `can_refresh` (close open rows, wait out busy arrays).
+        if self.timing.t_refi > 0 {
+            if self.refresh_pending {
+                for (idx, b) in self.banks.iter().enumerate() {
+                    if b.open_row().is_some() {
+                        if !self.fetch_pending_on(idx) {
+                            up(b.precharge_ready_at());
+                        }
+                    } else {
+                        up(b.busy_until());
+                    }
+                }
+            } else {
+                up(self.next_refresh);
+            }
+        }
+
+        // The write-drain hysteresis flips `draining` on the next tick.
+        if (!self.draining && self.write_q.len() >= self.drain_high)
+            || (self.draining && self.write_q.len() <= self.drain_low)
+        {
+            up(now + 1);
+        }
+
+        // Queued demand: a buffer-resident row is served next tick; an
+        // open matching row waits on bus + CAS timing; a closed bank on
+        // activation timing; a conflicting row on precharge timing or the
+        // starvation override.
+        for q in self.read_q.iter().chain(self.write_q.iter()) {
+            if self.buffer.contains(q.decoded.row_key()) {
+                up(now + 1);
+                continue;
+            }
+            let bank = &self.banks[q.bank()];
+            match bank.open_row() {
+                Some(r) if r == q.row() => up(self.bus_free.max(bank.rdwr_ready_at())),
+                Some(_) => {
+                    up(bank.precharge_ready_at());
+                    up(q.arrived + STARVATION_LIMIT + 1);
+                }
+                None => up(bank
+                    .activate_ready_at()
+                    .max(self.window.earliest_activate())),
+            }
+        }
+
+        // Row fetches: completions, background activations (bounded by
+        // their expiry), and bus slots for the next chunk.
+        for job in &self.fetches {
+            if let Some(done) = job.done {
+                up(done);
+                continue;
+            }
+            if self.buffer.contains(job.key) {
+                up(now + 1); // duplicate: discarded next tick
+                continue;
+            }
+            let bank = &self.banks[usize::from(job.key.bank)];
+            if job.needs_activate && bank.open_row() != Some(job.key.row) {
+                up(job.spawned + LOOKAHEAD_EXPIRY + 1);
+                if bank.open_row().is_none() {
+                    up(bank
+                        .activate_ready_at()
+                        .max(self.window.earliest_activate()));
+                }
+                continue;
+            }
+            if bank.open_row() != Some(job.key.row) {
+                up(now + 1); // row closed under the fetch: dropped next tick
+                continue;
+            }
+            up(self.bus_free.max(bank.rdwr_ready_at()));
+        }
+
+        // Precharge sweep.
+        for (idx, b) in self.banks.iter().enumerate() {
+            if self.want_precharge[idx] && b.open_row().is_some() && !self.fetch_pending_on(idx) {
+                up(b.precharge_ready_at());
+            }
+        }
+
+        // Writeback engine.
+        if let Some(job) = self.active_writeback {
+            match job.done {
+                Some(done) => up(done),
+                None => {
+                    let b = &self.banks[usize::from(job.key.bank)];
+                    match b.open_row() {
+                        Some(r) if r == job.key.row => up(self.bus_free.max(b.rdwr_ready_at())),
+                        Some(_) => up(b.precharge_ready_at()),
+                        None => up(b.activate_ready_at().max(self.window.earliest_activate())),
+                    }
+                }
+            }
+        } else if let Some(&key) = self.writeback_q.front() {
+            let bank_idx = usize::from(key.bank);
+            let demand_pending = self
+                .read_q
+                .iter()
+                .chain(self.write_q.iter())
+                .any(|q| q.bank() == bank_idx);
+            if !demand_pending || self.writeback_q.len() > WRITEBACK_PRESSURE {
+                up(now + 1);
+            }
+            // Else: yielding to demand; the demand candidates above cover
+            // the tick on which the yield condition can change.
+        }
+
+        wake
     }
 }
 

@@ -8,7 +8,7 @@
 //! original typed error when it is not.
 
 use camps::experiment::{resume_mix, run_mix_recoverable};
-use camps::recovery::{read_snapshot, write_snapshot, RecoveryPolicy, SNAPSHOT_FORMAT_VERSION};
+use camps::recovery::{read_snapshot, snapshot_to_string, RecoveryPolicy, SNAPSHOT_FORMAT_VERSION};
 use camps::System;
 use camps_sim::prelude::*;
 use std::path::PathBuf;
@@ -145,11 +145,22 @@ fn generate_checkpoint_fixture() {
         .capacity_bytes();
     let traces = mix.build_traces(capacity, FIXTURE_SEED).expect("traces");
     let mut sys = System::new(&cfg, SchemeKind::Camps, traces).expect("system");
+    // Checkpoint early: enough cycles for in-flight requests and partly
+    // primed caches (the interesting restore cases) without committing
+    // tens of thousands of fixture lines of fully warmed cache state.
     let mut run = sys.run_begin(3_000, 2_000_000);
-    while sys.now() < 1_500 {
+    while sys.now() < 300 {
         assert!(sys.run_step(&mut run).expect("step"), "run ended too early");
     }
-    write_snapshot(&fixture_path(), &sys, &run, FIXTURE_MIX, FIXTURE_SEED).expect("write fixture");
+    // Committed compactly: `read_snapshot` is whitespace-insensitive and
+    // the checksum is over the compact serialization, so this is still
+    // format v1 — but a regeneration diffs as one changed line instead of
+    // tens of thousands.
+    let text = snapshot_to_string(&sys, &run, FIXTURE_MIX, FIXTURE_SEED).expect("serialize");
+    let doc: camps_sim::camps_types::snapshot::Value =
+        serde_json::from_str(&text).expect("valid snapshot JSON");
+    let compact = serde_json::to_string(&doc).expect("compact render");
+    std::fs::write(fixture_path(), compact + "\n").expect("write fixture");
 }
 
 #[test]

@@ -1,0 +1,93 @@
+//! Polling/event engine equivalence (ISSUE 4 acceptance).
+//!
+//! The event engine must be an *engine*, not a model: for every paper
+//! scheme it must produce bit-identical results to the per-cycle polling
+//! reference, and a snapshot taken under either engine must restore and
+//! continue under the other. Results are compared as serialized
+//! [`camps::metrics::RunResult`] values, which covers IPC, cycle counts,
+//! every vault/core counter, AMAT accumulators, and the energy model.
+
+use camps::experiment::{run_mix_with_engine, RunLength};
+use camps::system::Engine;
+use camps::System;
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_types::snapshot::Snapshot;
+use camps_workloads::Mix;
+
+fn mini() -> RunLength {
+    RunLength {
+        warmup_instructions: 2_000,
+        instructions: 4_000,
+        max_cycles: 2_000_000,
+    }
+}
+
+fn canonical(r: &camps::metrics::RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
+#[test]
+fn every_paper_scheme_is_bit_identical_across_engines() {
+    let cfg = SystemConfig::paper_default();
+    for mix_id in ["HM1", "LM1"] {
+        let mix = Mix::by_id(mix_id).unwrap();
+        for scheme in SchemeKind::PAPER {
+            let polled =
+                run_mix_with_engine(&cfg, mix, scheme, &mini(), 11, Engine::Polling).unwrap();
+            let evented =
+                run_mix_with_engine(&cfg, mix, scheme, &mini(), 11, Engine::Event).unwrap();
+            assert_eq!(
+                canonical(&polled),
+                canonical(&evented),
+                "{mix_id}/{scheme:?}: engines diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshots_cross_engines_in_both_directions() {
+    let cfg = SystemConfig::paper_default();
+    let capacity = cfg.hmc.address_mapping().unwrap().capacity_bytes();
+    let mix = Mix::by_id("HM1").unwrap();
+    for (first, second) in [
+        (Engine::Event, Engine::Polling),
+        (Engine::Polling, Engine::Event),
+    ] {
+        let mut a = System::new(
+            &cfg,
+            SchemeKind::Camps,
+            mix.build_traces(capacity, 3).unwrap(),
+        )
+        .unwrap();
+        a.set_engine(first);
+        let mut st_a = a.run_begin(6_000, 1_000_000);
+        for _ in 0..1_500 {
+            assert!(a.run_step(&mut st_a).unwrap(), "{first:?}: ended too early");
+        }
+        let sys_state = a.save_state();
+        let run_state = st_a.save_state();
+        // The snapshot is engine-neutral: overlay it on a machine driven
+        // by the *other* engine and continue both to completion.
+        let mut b = System::new(
+            &cfg,
+            SchemeKind::Camps,
+            mix.build_traces(capacity, 3).unwrap(),
+        )
+        .unwrap();
+        b.set_engine(second);
+        let mut st_b = b.run_begin(6_000, 1_000_000);
+        b.restore_state(&sys_state).unwrap();
+        st_b.restore_state(&run_state).unwrap();
+        while a.run_step(&mut st_a).unwrap() {}
+        while b.run_step(&mut st_b).unwrap() {}
+        let ra = a.run_finish(&st_a, "cross").unwrap();
+        let rb = b.run_finish(&st_b, "cross").unwrap();
+        assert_eq!(
+            canonical(&ra),
+            canonical(&rb),
+            "{first:?} snapshot did not continue identically under {second:?}"
+        );
+    }
+}
