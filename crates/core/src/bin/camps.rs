@@ -4,6 +4,8 @@
 //! camps run   <MIX> <SCHEME> [--scale quick|standard|thorough] [--seed N] [--json]
 //!             [--engine polling|event]
 //!             [--checkpoint-every CYCLES] [--checkpoint-path FILE] [--max-recoveries N]
+//!             [--trace-out FILE] [--trace-filter SUBSTR]
+//!             [--metrics-every CYCLES] [--metrics-out FILE]
 //! camps run   --resume <FILE> [--json]   # continue a checkpointed run
 //! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
 //! camps list                    # available mixes, schemes, benchmarks
@@ -22,13 +24,21 @@
 //! such a file. `--max-recoveries` bounds rollback-and-retry attempts on
 //! watchdog/integrity failures (0, the default, disables recovery, so
 //! the original typed error propagates and the process exits nonzero).
+//!
+//! `--trace-out` writes a Chrome trace-event JSON of every request
+//! lifecycle (open it at `ui.perfetto.dev`); `--trace-filter` keeps only
+//! stages whose name contains the substring. `--metrics-every N` samples
+//! the machine every N cycles into `--metrics-out` (CSV when the file
+//! ends in `.csv`, JSONL otherwise; defaults to `camps.metrics.jsonl`).
 
 use camps::experiment::{
-    resume_mix, run_matrix, run_mix_recoverable, run_mix_with_engine, RunLength,
+    resume_mix, run_matrix, run_mix_observed, run_mix_recoverable, run_mix_recoverable_observed,
+    run_mix_with_engine, RunLength,
 };
 use camps::metrics::{average_speedup, speedup_table, RunResult};
 use camps::recovery::RecoveryPolicy;
 use camps::system::Engine;
+use camps_obs::{ObsConfig, TraceHandle};
 use camps_prefetch::SchemeKind;
 use camps_types::config::SystemConfig;
 use camps_workloads::{Mix, ALL_MIXES};
@@ -47,6 +57,7 @@ struct Options {
     max_recoveries: u32,
     resume: Option<PathBuf>,
     engine: Engine,
+    obs: ObsConfig,
 }
 
 fn parse_scheme(s: &str) -> Option<SchemeKind> {
@@ -73,6 +84,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_recoveries: 0,
         resume: None,
         engine: Engine::default(),
+        obs: ObsConfig::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -129,6 +141,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--engine" => {
                 opts.engine = it.next().ok_or("--engine needs polling|event")?.parse()?;
+            }
+            "--trace-out" => {
+                opts.obs.trace_out =
+                    Some(PathBuf::from(it.next().ok_or("--trace-out needs a file")?));
+            }
+            "--trace-filter" => {
+                opts.obs.trace_filter =
+                    Some(it.next().ok_or("--trace-filter needs a substring")?.clone());
+            }
+            "--metrics-every" => {
+                opts.obs.metrics_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--metrics-every needs a cycle count")?,
+                );
+            }
+            "--metrics-out" => {
+                opts.obs.metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a file")?,
+                ));
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -191,13 +223,30 @@ fn main() -> ExitCode {
                 };
                 (Some((mix, scheme)), &args[3..])
             };
-            let opts = match parse_options(rest) {
+            let mut opts = match parse_options(rest) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
+            if opts.obs.wants_any() {
+                if !TraceHandle::compiled() {
+                    eprintln!(
+                        "camps: this binary was built without the `obs` feature; \
+                         rebuild without `--no-default-features` to trace"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if opts.resume.is_some() {
+                    eprintln!("camps: tracing flags are not supported with --resume");
+                    return ExitCode::FAILURE;
+                }
+                // Metrics sampling with no sink still deserves a file.
+                if opts.obs.metrics_every.is_some() && opts.obs.metrics_out.is_none() {
+                    opts.obs.metrics_out = Some(PathBuf::from("camps.metrics.jsonl"));
+                }
+            }
             if let Some(path) = &opts.resume {
                 let result = match resume_mix(&cfg, path) {
                     Ok(r) => r,
@@ -223,13 +272,42 @@ fn main() -> ExitCode {
                             .unwrap_or_else(|| PathBuf::from("camps.ckpt.json"))
                     }),
                 };
-                match run_mix_recoverable(&cfg, mix, scheme, &opts.scale, opts.seed, &policy) {
+                let recovered = if opts.obs.wants_any() {
+                    run_mix_recoverable_observed(
+                        &cfg,
+                        mix,
+                        scheme,
+                        &opts.scale,
+                        opts.seed,
+                        &policy,
+                        &opts.obs,
+                    )
+                } else {
+                    run_mix_recoverable(&cfg, mix, scheme, &opts.scale, opts.seed, &policy)
+                };
+                match recovered {
                     Ok((r, report)) => {
                         if report.recovered() || report.checkpoints_taken > 0 {
                             eprint!("{}", report.render());
                         }
                         r
                     }
+                    Err(e) => {
+                        eprintln!("camps: run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if opts.obs.wants_any() {
+                match run_mix_observed(
+                    &cfg,
+                    mix,
+                    scheme,
+                    &opts.scale,
+                    opts.seed,
+                    opts.engine,
+                    &opts.obs,
+                ) {
+                    Ok(r) => r,
                     Err(e) => {
                         eprintln!("camps: run failed: {e}");
                         return ExitCode::FAILURE;
@@ -244,6 +322,12 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            if let Some(p) = &opts.obs.trace_out {
+                eprintln!("camps: trace written to {}", p.display());
+            }
+            if let Some(p) = &opts.obs.metrics_out {
+                eprintln!("camps: metrics written to {}", p.display());
+            }
             emit(&[result], opts.json)
         }
         Some("sweep") => {
@@ -254,6 +338,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if opts.obs.wants_any() {
+                eprintln!(
+                    "camps: tracing flags apply to `camps run` (one run, one trace file), \
+                     not `camps sweep`"
+                );
+                return ExitCode::FAILURE;
+            }
             let mixes: Vec<Mix> = opts.mixes.iter().map(|m| **m).collect();
             let results = match run_matrix(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed) {
                 Ok(r) => r,
@@ -288,6 +379,7 @@ fn main() -> ExitCode {
                  \n  camps run HM1 campsmod --scale quick --json\
                  \n  camps run HM1 campsmod --engine polling   # slow reference engine\
                  \n  camps run HM1 campsmod --checkpoint-every 1000000 --max-recoveries 3\
+                 \n  camps run HM1 campsmod --trace-out run.trace.json --metrics-every 1000\
                  \n  camps run --resume camps.ckpt.json\
                  \n  camps sweep --mixes HM1,LM1 --schemes base,campsmod\
                  \n  camps list | camps config"

@@ -8,6 +8,7 @@ use crate::recovery::{
     read_snapshot, restore_run, run_with_recovery, scheme_from_name, RecoveryPolicy, RecoveryReport,
 };
 use crate::system::{Engine, System};
+use camps_obs::ObsConfig;
 use camps_prefetch::SchemeKind;
 use camps_types::clock::Cycle;
 use camps_types::config::SystemConfig;
@@ -157,6 +158,100 @@ pub fn resume_mix(cfg: &SystemConfig, path: &Path) -> Result<RunResult, SimError
     restore_run(&mut sys, &mut run, &manifest, &state)?;
     while sys.run_step(&mut run)? {}
     sys.run_finish(&run, mix.id)
+}
+
+/// Writes the installed tracer's outputs (trace JSON, metrics series)
+/// to the paths `obs_cfg` names.
+fn export_obs(sys: &System, obs_cfg: &ObsConfig) -> Result<(), SimError> {
+    let io_err = |path: &Path, e: std::io::Error| SimError::Io {
+        path: path.display().to_string(),
+        source: e,
+    };
+    if let Some(path) = &obs_cfg.trace_out {
+        sys.obs().export_trace(path).map_err(|e| io_err(path, e))?;
+    }
+    if let Some(path) = &obs_cfg.metrics_out {
+        sys.obs()
+            .export_metrics(path)
+            .map_err(|e| io_err(path, e))?;
+    }
+    Ok(())
+}
+
+/// [`run_mix_with_engine`] with request-lifecycle tracing and metrics
+/// sampling installed per `obs_cfg`. Trace/metrics files are written
+/// even when the run itself fails (a trace of a wedged run is the whole
+/// point of tracing), but an export failure never masks a run error.
+///
+/// # Errors
+/// As [`run_mix`], plus [`SimError::Io`] when an export path cannot be
+/// written (including when the crate was built without the `obs`
+/// feature — exports then fail with `Unsupported`).
+pub fn run_mix_observed(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    scheme: SchemeKind,
+    len: &RunLength,
+    seed: u64,
+    engine: Engine,
+    obs_cfg: &ObsConfig,
+) -> Result<RunResult, SimError> {
+    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let traces = mix.build_traces(capacity, seed)?;
+    let mut sys = System::new(cfg, scheme, traces)?;
+    sys.set_engine(engine);
+    sys.enable_obs(obs_cfg);
+    sys.warmup(len.warmup_instructions);
+    match sys.run(len.instructions, len.max_cycles, mix.id) {
+        Ok(result) => {
+            export_obs(&sys, obs_cfg)?;
+            Ok(result)
+        }
+        Err(err) => {
+            export_obs(&sys, obs_cfg).ok();
+            Err(err)
+        }
+    }
+}
+
+/// [`run_mix_recoverable`] with observability installed: checkpoints and
+/// rollbacks appear on the trace's recovery track alongside the request
+/// lifecycles.
+///
+/// # Errors
+/// As [`run_mix_recoverable`], plus [`SimError::Io`] on export failure.
+pub fn run_mix_recoverable_observed(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    scheme: SchemeKind,
+    len: &RunLength,
+    seed: u64,
+    policy: &RecoveryPolicy,
+    obs_cfg: &ObsConfig,
+) -> Result<(RunResult, RecoveryReport), SimError> {
+    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let traces = mix.build_traces(capacity, seed)?;
+    let mut sys = System::new(cfg, scheme, traces)?;
+    sys.enable_obs(obs_cfg);
+    sys.warmup(len.warmup_instructions);
+    let outcome = run_with_recovery(
+        &mut sys,
+        len.instructions,
+        len.max_cycles,
+        mix.id,
+        seed,
+        policy,
+    );
+    match outcome {
+        Ok(pair) => {
+            export_obs(&sys, obs_cfg)?;
+            Ok(pair)
+        }
+        Err(err) => {
+            export_obs(&sys, obs_cfg).ok();
+            Err(err)
+        }
+    }
 }
 
 /// Runs the full cross product `mixes × schemes` in parallel (rayon).

@@ -8,6 +8,7 @@
 use camps_link::packet::Packet;
 use camps_link::serdes::LinkSet;
 use camps_link::Crossbar;
+use camps_obs::{Point, TraceHandle};
 use camps_prefetch::SchemeKind;
 use camps_types::addr::AddressMapping;
 use camps_types::clock::Cycle;
@@ -56,6 +57,10 @@ pub struct HmcDevice {
     req_deliveries: u64,
     /// Responses delivered so far (drives `duplicate_response_every`).
     resp_deliveries: u64,
+    /// Observability hooks (runtime-only; excluded from `Snapshot`).
+    obs: TraceHandle,
+    /// The stall-fault instant has been emitted (emit-once latch).
+    stall_marked: bool,
 }
 
 impl HmcDevice {
@@ -89,6 +94,8 @@ impl HmcDevice {
             faults: cfg.faults,
             req_deliveries: 0,
             resp_deliveries: 0,
+            obs: TraceHandle::disabled(),
+            stall_marked: false,
         })
     }
 
@@ -96,6 +103,14 @@ impl HmcDevice {
     #[must_use]
     pub fn mapping(&self) -> &AddressMapping {
         &self.mapping
+    }
+
+    /// Installs observability hooks on the cube and every vault.
+    pub fn set_obs(&mut self, obs: TraceHandle) {
+        for v in &mut self.vaults {
+            v.set_obs(obs.clone());
+        }
+        self.obs = obs;
     }
 
     /// Offers a demand request to the host-side controller. `false` means
@@ -151,6 +166,7 @@ impl HmcDevice {
                 break; // token-blocked; retry next cycle
             };
             self.host_queue.pop_front();
+            self.obs.stamp(req.id.0, Point::LinkLaunch, now);
             self.token_returns
                 .push(Reverse((exit_link, link_idx, packet.flits, false)));
             let vault = self.mapping.decode(req.addr).vault;
@@ -175,11 +191,14 @@ impl HmcDevice {
                     .req_deliveries
                     .is_multiple_of(self.faults.drop_request_every)
             {
+                self.obs.mark("fault_drop_request", now);
+                self.obs.abort(packet.request.id.0);
                 continue; // injected fault: packet vanishes at the crossbar
             }
             let req = packet.request;
             let d = self.mapping.decode(req.addr);
             let v = usize::from(d.vault);
+            self.obs.arrive(req.id.0, d.vault, now);
             if !self.vaults[v].try_enqueue(req, d, now) {
                 self.vault_retry[v].push_back(req);
             }
@@ -204,9 +223,17 @@ impl HmcDevice {
             .then_some(self.faults.stall_vault as usize);
         for (idx, v) in self.vaults.iter_mut().enumerate() {
             if stalled == Some(idx) {
+                if !self.stall_marked {
+                    self.obs.mark("fault_vault_stall", now);
+                    self.stall_marked = true;
+                }
                 continue; // injected fault: the vault makes no progress
             }
             v.tick(now, &mut self.vault_out);
+        }
+        for resp in &self.vault_out {
+            self.obs
+                .stamp(resp.id.0, Point::RespReady, resp.completed_at);
         }
         self.resp_queue.extend(self.vault_out.drain(..));
     }
@@ -256,6 +283,7 @@ impl HmcDevice {
                     .resp_deliveries
                     .is_multiple_of(self.faults.duplicate_response_every)
             {
+                self.obs.mark("fault_duplicate_response", now);
                 out.push(resp); // injected fault: the response arrives twice
             }
             out.push(resp);

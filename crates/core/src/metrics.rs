@@ -1,6 +1,7 @@
 //! Per-run results and figure-level aggregation helpers.
 
 use camps_cpu::core_model::CoreStats;
+use camps_obs::StageBreakdown;
 use camps_prefetch::SchemeKind;
 use camps_stats::summary::geomean;
 use camps_types::clock::Cycle;
@@ -32,6 +33,11 @@ pub struct RunResult {
     pub cycles: Cycle,
     /// Total HMC energy (dynamic + background) in nanojoules.
     pub energy_nj: f64,
+    /// Per-stage demand-read latency breakdown; present only when the
+    /// run had observability installed (`None` otherwise, and absent
+    /// from older serialized results).
+    #[serde(default)]
+    pub stage_latency: Option<StageBreakdown>,
 }
 
 impl RunResult {
@@ -214,6 +220,7 @@ mod tests {
             amat_mem: 0.0,
             cycles: 1,
             energy_nj: 0.0,
+            stage_latency: None,
         }
     }
 

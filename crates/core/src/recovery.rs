@@ -331,6 +331,7 @@ pub fn run_with_recovery(
                     write_snapshot(path, sys, &run, mix_id, seed)?;
                 }
                 last_good = Some((sys.now(), sys.save_state(), run.save_state()));
+                sys.obs().mark("checkpoint", sys.now());
                 report.checkpoints_taken += 1;
                 next_checkpoint = Some(
                     sys.now() + interval.expect("invariant: next_checkpoint implies interval"),
@@ -350,6 +351,9 @@ pub fn run_with_recovery(
                 // trip the retry identically (the machine is
                 // deterministic) — quarantine it.
                 sys.quarantine_faults();
+                // The re-simulated interval shows up as a slice on the
+                // trace's recovery track.
+                sys.obs().window("rollback", from_cycle, failed_at);
                 report.events.push(RecoveryEvent {
                     attempt: attempts,
                     failed_at,

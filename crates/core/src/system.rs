@@ -7,6 +7,7 @@ use camps_cache::hierarchy::{CacheHierarchy, HierarchyOutcome};
 use camps_cache::mshr::MshrFile;
 use camps_cpu::core_model::{Core, MemoryPort, PortResult};
 use camps_cpu::trace::TraceSource;
+use camps_obs::{MetricsSample, ObsConfig, ReqClass, TraceHandle, METRICS_SCHEMA_VERSION};
 use camps_prefetch::SchemeKind;
 use camps_stats::{AuditLedger, Running};
 use camps_types::addr::PhysAddr;
@@ -70,6 +71,9 @@ pub struct MemorySubsystem {
     /// watchdog's forward-progress signature: a wedged cube stops
     /// advancing this even while cores spin.
     responses_delivered: u64,
+    /// Observability hooks (runtime-only; excluded from `Snapshot` so
+    /// checkpoints are byte-identical with and without tracing).
+    obs: TraceHandle,
 }
 
 impl MemorySubsystem {
@@ -99,6 +103,7 @@ impl MemorySubsystem {
             mem_reads: 0,
             auditor: RequestAuditor::new(cfg.integrity.audit, cfg.hmc.vaults as usize),
             responses_delivered: 0,
+            obs: TraceHandle::disabled(),
         })
     }
 
@@ -116,6 +121,13 @@ impl MemorySubsystem {
     /// The cache hierarchy (functional warmup uses it directly).
     pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
         &mut self.hierarchy
+    }
+
+    /// Installs observability hooks here, on the cube, and on every
+    /// vault (all clones of one handle).
+    pub fn set_obs(&mut self, obs: TraceHandle) {
+        self.hmc.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     fn fresh_id(&mut self) -> RequestId {
@@ -187,6 +199,7 @@ impl MemorySubsystem {
                 break;
             }
             let id = self.fresh_id();
+            self.obs.issue(id.0, 0, wb.0, ReqClass::Writeback, now, now);
             let accepted = self.submit_audited(MemRequest {
                 id,
                 addr: wb,
@@ -216,6 +229,7 @@ impl MemorySubsystem {
             // Every solicited response closes out an audited request;
             // unsolicited pushes above never entered the ledger.
             self.auditor.record_completed(resp.id);
+            self.obs.finish(resp.id.0, resp.source, now);
             self.responses_delivered += 1;
             if !resp.kind.is_read() {
                 continue; // posted-write acks carry no waiters
@@ -292,6 +306,8 @@ impl MemorySubsystem {
             }
             self.mshrs.allocate(target, CORE_PF_WAITER);
             let id = self.fresh_id();
+            self.obs
+                .issue(id.0, core.0, target.0, ReqClass::CorePrefetch, now, now);
             let accepted = self.submit_audited(MemRequest {
                 id,
                 addr: target,
@@ -418,6 +434,12 @@ impl MemoryPort for MemorySubsystem {
                 let issued = self.first_attempt.remove(&(core.0, block)).unwrap_or(now);
                 self.issue_cycle.insert(token, issued);
                 let id = self.fresh_id();
+                // Inject = this cycle: the request joins the host queue
+                // now and can launch before `created_at` (which only
+                // rides along for reporting), so the stage edges must be
+                // real event times or the host-queue span goes negative.
+                self.obs
+                    .issue(id.0, core.0, block, ReqClass::DemandRead, issued, now);
                 let accepted = self.submit_audited(MemRequest {
                     id,
                     addr: addr.block_base(self.block_bytes),
@@ -457,6 +479,8 @@ impl MemoryPort for MemorySubsystem {
                 self.mshrs.allocate(addr, STORE_WAITER);
                 self.dirty_fills.insert(block);
                 let id = self.fresh_id();
+                self.obs
+                    .issue(id.0, core.0, block, ReqClass::Store, now, now);
                 let accepted = self.submit_audited(MemRequest {
                     id,
                     addr: PhysAddr(block),
@@ -580,6 +604,16 @@ pub struct System {
     /// correct (it *is* the polling engine), so we pause the scan for a
     /// few cycles. Never serialized (engine-local pacing state).
     scan_backoff: u64,
+    /// Observability hooks; never serialized (see [`MemorySubsystem`]).
+    obs: TraceHandle,
+    /// Metrics sampling interval; `None` disables the sampler.
+    metrics_every: Option<u64>,
+    /// Absolute cycle of the next metrics sample.
+    next_sample: Cycle,
+    /// Ticks the run loop actually executed (event engine: per wake).
+    wake_ticks: u64,
+    /// Cycles the event engine skipped without ticking.
+    cycles_skipped: u64,
 }
 
 impl System {
@@ -619,6 +653,11 @@ impl System {
             engine: Engine::default(),
             woken_scratch: Vec::new(),
             scan_backoff: 0,
+            obs: TraceHandle::disabled(),
+            metrics_every: None,
+            next_sample: 0,
+            wake_ticks: 0,
+            cycles_skipped: 0,
         })
     }
 
@@ -631,6 +670,31 @@ impl System {
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Installs observability per `obs_cfg`: lifecycle tracing hooks on
+    /// the whole memory path, plus the periodic metrics sampler when
+    /// `metrics_every` is set. A no-op (warning-free) when the crate was
+    /// built without the `obs` feature — check
+    /// [`TraceHandle::compiled`] to report that to the user.
+    pub fn enable_obs(&mut self, obs_cfg: &ObsConfig) {
+        let handle = TraceHandle::new(obs_cfg);
+        self.mem.set_obs(handle.clone());
+        self.obs = handle;
+        self.metrics_every = if self.obs.is_enabled() {
+            obs_cfg.metrics_every
+        } else {
+            None
+        };
+        if let Some(every) = self.metrics_every {
+            self.next_sample = self.now + every;
+        }
+    }
+
+    /// The installed observability handle (disabled by default).
+    #[must_use]
+    pub fn obs(&self) -> &TraceHandle {
+        &self.obs
     }
 
     /// Current simulation time.
@@ -764,8 +828,14 @@ impl System {
                 let fire = state.stalled_since + self.cfg.integrity.watchdog_cycles;
                 fold_wake(&mut wake, self.now, Some(fire));
             }
+            if wake != Some(next) && self.metrics_every.is_some() {
+                // Samples must land on their exact cycle under both
+                // engines, so the sampler is a wake source of its own.
+                fold_wake(&mut wake, self.now, Some(self.next_sample));
+            }
             let target = wake.unwrap_or(state.deadline).min(state.deadline).max(next);
             let skipped = target - self.now - 1;
+            self.cycles_skipped += skipped;
             if skipped > 0 {
                 for core in &mut self.cores {
                     core.skip_idle(skipped);
@@ -779,6 +849,7 @@ impl System {
             }
         }
         self.now += 1;
+        self.wake_ticks += 1;
         for (i, core) in self.cores.iter_mut().enumerate() {
             core.tick(self.now, &mut self.mem);
             if state.done_at[i].is_none() && core.stats().retired.get() >= state.instructions {
@@ -802,12 +873,19 @@ impl System {
         if let Some(violation) = self.mem.take_violation() {
             return Err(SimError::Integrity(violation));
         }
+        if let Some(every) = self.metrics_every {
+            if self.now >= self.next_sample {
+                self.record_metrics_sample();
+                self.next_sample = self.now + every;
+            }
+        }
         let watchdog = self.cfg.integrity.watchdog_cycles;
         if watchdog > 0 {
             let sig = self.progress_signature();
             if sig == state.last_progress {
                 let stall = self.now - state.stalled_since;
                 if stall >= watchdog {
+                    self.obs.mark("watchdog_trip", self.now);
                     return Err(SimError::Watchdog(Box::new(self.diagnostic_report(stall))));
                 }
             } else {
@@ -860,8 +938,71 @@ impl System {
             amat_mem: self.mem.amat_mem.mean().unwrap_or(0.0),
             cycles: elapsed,
             energy_nj: 0.0, // filled below (needs cfg)
+            stage_latency: self.obs.breakdown(),
         }
         .with_energy(&self.cfg))
+    }
+
+    /// Gathers one [`MetricsSample`] across cores, host structures, and
+    /// every vault, and appends it to the tracer's time-series.
+    fn record_metrics_sample(&mut self) {
+        let retired: u64 = self.cores.iter().map(|c| c.stats().retired.get()).sum();
+        let hmc = self.mem.hmc();
+        let mut vault_read_queue = 0u64;
+        let mut vault_write_queue = 0u64;
+        let mut buffer_rows = 0u64;
+        let mut buffer_capacity = 0u64;
+        let mut rut_entries = 0u64;
+        let mut ct_entries = 0u64;
+        let mut row_hits = 0u64;
+        let mut row_misses = 0u64;
+        let mut row_conflicts = 0u64;
+        let mut buffer_hits = 0u64;
+        let mut prefetches = 0u64;
+        for v in hmc.vaults() {
+            vault_read_queue += v.read_queue_len() as u64;
+            vault_write_queue += v.write_queue_len() as u64;
+            let (rows, cap) = v.buffer_occupancy();
+            buffer_rows += rows as u64;
+            buffer_capacity += cap as u64;
+            let (rut, ct) = v.table_occupancy();
+            rut_entries += rut as u64;
+            ct_entries += ct as u64;
+            let s = v.stats();
+            row_hits += s.row_hits.get();
+            row_misses += s.row_misses.get();
+            row_conflicts += s.row_conflicts.get();
+            buffer_hits += s.buffer_hits.get();
+            prefetches += s.prefetches.get();
+        }
+        let (traced_reads, traced_cycles) = self.obs.traced_reads();
+        self.obs.push_sample(MetricsSample {
+            schema: METRICS_SCHEMA_VERSION,
+            cycle: self.now,
+            retired,
+            responses: self.mem.responses_delivered(),
+            mem_reads: self.mem.mem_reads,
+            buffer_served: self.mem.buffer_served,
+            host_queue: hmc.host_queue_len() as u64,
+            mshr_in_flight: self.mem.mshr_in_flight() as u64,
+            writeback_queue: self.mem.writeback_queue_len() as u64,
+            vault_read_queue,
+            vault_write_queue,
+            buffer_rows,
+            buffer_capacity,
+            rut_entries,
+            ct_entries,
+            row_hits,
+            row_misses,
+            row_conflicts,
+            buffer_hits,
+            prefetches,
+            amat_mem_mean: self.mem.amat_mem.mean().unwrap_or(0.0),
+            traced_reads,
+            traced_cycles,
+            wake_ticks: self.wake_ticks,
+            cycles_skipped: self.cycles_skipped,
+        });
     }
 
     /// Forward-progress signature: total retired instructions plus total

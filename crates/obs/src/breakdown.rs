@@ -1,0 +1,44 @@
+//! Per-stage latency breakdown folded into `RunResult`.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage's aggregate demand-read latency contribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Stage name (see `Stage::name`).
+    pub stage: String,
+    /// Demand reads that spent time in this stage.
+    pub count: u64,
+    /// Total cycles spent in this stage across all traced reads.
+    pub total_cycles: u64,
+    /// Mean cycles per traced read (over *all* traced reads, so the
+    /// means of all stages add up to the mean total latency).
+    pub mean_cycles: f64,
+}
+
+/// The per-stage AMAT decomposition of a traced run.
+///
+/// Stage sums telescope: `sum(stages[i].total_cycles)` equals the total
+/// issue→delivery latency over all traced demand reads, so
+/// `sum(stages[i].mean_cycles)` equals [`StageBreakdown::mean_total`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// Demand reads whose full lifecycle was traced.
+    pub demand_reads: u64,
+    /// Mean issue→delivery latency of those reads, cycles.
+    pub mean_total: f64,
+    /// Per-stage contributions, pipeline order, zero-count stages kept
+    /// (so the schema is fixed-width).
+    pub stages: Vec<StageLatency>,
+}
+
+impl StageBreakdown {
+    /// Mean cycles attributed to `stage`, 0.0 if absent.
+    #[must_use]
+    pub fn mean_of(&self, stage: &str) -> f64 {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map_or(0.0, |s| s.mean_cycles)
+    }
+}

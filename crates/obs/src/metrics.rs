@@ -1,0 +1,183 @@
+//! The sampled metrics time-series.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Version stamped into every row. Bump when fields change meaning or
+/// are removed; adding fields with `#[serde(default)]` is compatible.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Output encoding for the metrics series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// One JSON object per line.
+    Jsonl,
+    /// Header row + one comma-separated row per sample.
+    Csv,
+}
+
+impl MetricsFormat {
+    /// CSV for a `.csv` extension, JSONL otherwise.
+    #[must_use]
+    pub fn for_path(path: &Path) -> MetricsFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(e) if e.eq_ignore_ascii_case("csv") => MetricsFormat::Csv,
+            _ => MetricsFormat::Jsonl,
+        }
+    }
+}
+
+/// One row of the periodic metrics series. Counters are cumulative
+/// since the start of the measured run (rates are first differences);
+/// queue depths and occupancies are instantaneous gauges.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSample {
+    /// Schema version ([`METRICS_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Sample cycle.
+    pub cycle: u64,
+    /// Instructions retired across all cores.
+    pub retired: u64,
+    /// Responses delivered back to the host.
+    pub responses: u64,
+    /// Demand reads completed by the memory system.
+    pub mem_reads: u64,
+    /// Demand reads served by a prefetch buffer.
+    pub buffer_served: u64,
+    /// Host-side queue depth (gauge).
+    pub host_queue: u64,
+    /// MSHR entries in flight (gauge).
+    pub mshr_in_flight: u64,
+    /// Dirty blocks waiting in the host writeback queue (gauge).
+    pub writeback_queue: u64,
+    /// Requests across all vault read queues (gauge).
+    pub vault_read_queue: u64,
+    /// Requests across all vault write queues (gauge).
+    pub vault_write_queue: u64,
+    /// Rows resident across all prefetch buffers (gauge).
+    pub buffer_rows: u64,
+    /// Total prefetch-buffer capacity, rows.
+    pub buffer_capacity: u64,
+    /// Row-utilization-table entries live across vaults (gauge).
+    pub rut_entries: u64,
+    /// Conflict-table entries live across vaults (gauge).
+    pub ct_entries: u64,
+    /// Bank accesses that hit an open row.
+    pub row_hits: u64,
+    /// Bank accesses that activated an idle bank.
+    pub row_misses: u64,
+    /// Bank accesses that displaced another row (conflicts).
+    pub row_conflicts: u64,
+    /// Demand accesses served by the prefetch buffers.
+    pub buffer_hits: u64,
+    /// Whole rows prefetched.
+    pub prefetches: u64,
+    /// Mean demand-read memory latency so far (`amat_mem` accumulator).
+    pub amat_mem_mean: f64,
+    /// Demand reads with a complete traced lifecycle.
+    pub traced_reads: u64,
+    /// Total cycles across all stages of those reads (reconciles with
+    /// `amat_mem_mean * traced_reads` on merge-free workloads).
+    pub traced_cycles: u64,
+    /// Scheduler iterations executed (event engine: per wake).
+    pub wake_ticks: u64,
+    /// Cycles the event engine skipped without ticking.
+    pub cycles_skipped: u64,
+}
+
+/// Field order shared by the CSV header and rows — keep in sync with
+/// [`MetricsSample::csv_row`].
+// Only the feature-gated `core` module renders CSV; keep the encoding
+// next to the struct it mirrors even in compiled-out builds.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+pub(crate) const CSV_HEADER: &str = "schema,cycle,retired,responses,mem_reads,buffer_served,\
+host_queue,mshr_in_flight,writeback_queue,vault_read_queue,vault_write_queue,buffer_rows,\
+buffer_capacity,rut_entries,ct_entries,row_hits,row_misses,row_conflicts,buffer_hits,\
+prefetches,amat_mem_mean,traced_reads,traced_cycles,wake_ticks,cycles_skipped";
+
+impl MetricsSample {
+    /// One CSV row, field order matching [`CSV_HEADER`].
+    #[must_use]
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    pub(crate) fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+            self.schema,
+            self.cycle,
+            self.retired,
+            self.responses,
+            self.mem_reads,
+            self.buffer_served,
+            self.host_queue,
+            self.mshr_in_flight,
+            self.writeback_queue,
+            self.vault_read_queue,
+            self.vault_write_queue,
+            self.buffer_rows,
+            self.buffer_capacity,
+            self.rut_entries,
+            self.ct_entries,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.buffer_hits,
+            self.prefetches,
+            self.amat_mem_mean,
+            self.traced_reads,
+            self.traced_cycles,
+            self.wake_ticks,
+            self.cycles_skipped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_header_matches_row_arity() {
+        let row = MetricsSample::default().csv_row();
+        assert_eq!(
+            CSV_HEADER.split(',').count(),
+            row.split(',').count(),
+            "CSV header and row field counts diverged"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let s = MetricsSample {
+            schema: METRICS_SCHEMA_VERSION,
+            cycle: 4096,
+            retired: 1000,
+            amat_mem_mean: 211.5,
+            traced_reads: 7,
+            traced_cycles: 1480,
+            ..MetricsSample::default()
+        };
+        let line = serde_json::to_string(&s).unwrap();
+        let back: MetricsSample = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn format_by_extension() {
+        assert_eq!(
+            MetricsFormat::for_path(Path::new("out.csv")),
+            MetricsFormat::Csv
+        );
+        assert_eq!(
+            MetricsFormat::for_path(Path::new("out.CSV")),
+            MetricsFormat::Csv
+        );
+        assert_eq!(
+            MetricsFormat::for_path(Path::new("out.jsonl")),
+            MetricsFormat::Jsonl
+        );
+        assert_eq!(
+            MetricsFormat::for_path(Path::new("metrics")),
+            MetricsFormat::Jsonl
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The span taxonomy: pipeline stages a request passes through.
+
+use camps_types::request::ServiceSource;
+
+/// One stage of a request's life inside the memory system. Span names
+/// in the exported trace are [`Stage::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// MSHR allocation: first attempt → host-queue entry (this is the
+    /// MSHR-full / host-backpressure stall time; zero when uncontended).
+    CacheMshr,
+    /// Waiting in the host-side queue for serial-link credit.
+    HostQueue,
+    /// Request packet crossing serdes link + crossbar to the vault.
+    ReqLink,
+    /// Waiting in the vault's read/write queue (incl. full-queue retry).
+    VaultQueue,
+    /// Column access on an already-open row.
+    BankHit,
+    /// Activation + column access on an idle bank.
+    BankMiss,
+    /// Precharge + activation + column access (row-buffer conflict).
+    BankConflict,
+    /// Served straight from the vault's prefetch buffer.
+    PfBufferHit,
+    /// Response crossing the TSV/serdes path back to the host.
+    RespLink,
+}
+
+/// Number of distinct stages.
+pub const STAGE_COUNT: usize = 9;
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::CacheMshr,
+        Stage::HostQueue,
+        Stage::ReqLink,
+        Stage::VaultQueue,
+        Stage::BankHit,
+        Stage::BankMiss,
+        Stage::BankConflict,
+        Stage::PfBufferHit,
+        Stage::RespLink,
+    ];
+
+    /// Stable name used in trace JSON, metrics, and breakdown tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::CacheMshr => "cache_mshr",
+            Stage::HostQueue => "host_queue",
+            Stage::ReqLink => "req_link",
+            Stage::VaultQueue => "vault_queue",
+            Stage::BankHit => "bank_hit",
+            Stage::BankMiss => "bank_miss",
+            Stage::BankConflict => "bank_conflict",
+            Stage::PfBufferHit => "pfbuffer_hit",
+            Stage::RespLink => "resp_link",
+        }
+    }
+
+    /// Index into per-stage arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The service stage a response's [`ServiceSource`] maps to.
+    #[must_use]
+    pub fn from_source(source: ServiceSource) -> Stage {
+        match source {
+            ServiceSource::PrefetchBuffer => Stage::PfBufferHit,
+            ServiceSource::RowBufferHit => Stage::BankHit,
+            ServiceSource::RowBufferMiss => Stage::BankMiss,
+            ServiceSource::RowBufferConflict => Stage::BankConflict,
+        }
+    }
+}
+
+/// A stampable point in a request's lifecycle (between-stage edges that
+/// are not captured by [`TraceHandle::issue`]/[`TraceHandle::arrive`]/
+/// [`TraceHandle::finish`]).
+///
+/// [`TraceHandle::issue`]: crate::TraceHandle::issue
+/// [`TraceHandle::arrive`]: crate::TraceHandle::arrive
+/// [`TraceHandle::finish`]: crate::TraceHandle::finish
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Point {
+    /// Popped from the host queue onto a serial link.
+    LinkLaunch,
+    /// Selected by the vault scheduler (column issue or buffer serve).
+    ServiceStart,
+    /// Vault produced the response (service complete).
+    RespReady,
+}
+
+/// What kind of request a lifecycle record describes. Only demand reads
+/// feed the latency histograms; stores/writebacks are acked early by
+/// the vault and core-side prefetches wake no one, so their "latency"
+/// would skew the AMAT decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqClass {
+    /// A demand load miss leaving the LLC.
+    DemandRead,
+    /// A store / streamed write.
+    Store,
+    /// A dirty-block writeback.
+    Writeback,
+    /// A core-side (Base scheme) prefetch read.
+    CorePrefetch,
+}
+
+impl ReqClass {
+    /// True for the classes whose spans are worth drawing.
+    #[must_use]
+    pub fn traced(self) -> bool {
+        matches!(self, ReqClass::DemandRead | ReqClass::CorePrefetch)
+    }
+}

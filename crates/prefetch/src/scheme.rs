@@ -87,6 +87,12 @@ pub trait PrefetchScheme: Send {
         self.kind().name().to_string()
     }
 
+    /// `(RUT entries, CT entries)` currently live — the occupancy gauge
+    /// behind the metrics time-series. Table-less schemes report zero.
+    fn table_occupancy(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
     /// Captures the scheme's mutable state (RUT/CT contents, adaptive
     /// thresholds) for checkpointing. Stateless schemes return
     /// [`Value::Null`] (the default).

@@ -136,6 +136,10 @@ impl PrefetchScheme for Camps {
         PfAction::None
     }
 
+    fn table_occupancy(&self) -> (usize, usize) {
+        (self.rut.occupied(), self.ct.len())
+    }
+
     fn save_state(&self) -> Value {
         // `threshold`, `ct_evidence`, and `replacement` come from the
         // configuration; only the profiling tables are mutable state.

@@ -144,6 +144,10 @@ impl PrefetchScheme for Mmd {
         )
     }
 
+    fn table_occupancy(&self) -> (usize, usize) {
+        (self.hits.occupied(), 0)
+    }
+
     fn save_state(&self) -> Value {
         // `epoch` is a construction input; the hit table, the adaptive
         // threshold, and the in-epoch feedback counters are mutable.

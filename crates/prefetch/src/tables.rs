@@ -27,6 +27,13 @@ impl RowUtilizationTable {
         }
     }
 
+    /// Number of banks currently tracking a row (occupancy gauge for
+    /// the metrics time-series).
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
     /// Current tracked (row, count) for `bank`.
     #[must_use]
     pub fn get(&self, bank: u16) -> Option<(u32, u32)> {

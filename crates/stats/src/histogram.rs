@@ -145,18 +145,26 @@ impl Log2Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. The running sum saturates instead of
+    /// overflowing, so pathological inputs (`u64::MAX` latencies)
+    /// degrade the mean rather than aborting the run.
     pub fn record(&mut self, value: u64) {
         let idx = 64 - value.max(1).leading_zeros() as usize - 1;
         self.buckets[idx] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Number of samples.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Mean sample value, `None` if empty.
@@ -177,13 +185,13 @@ impl Log2Histogram {
         self.buckets.iter().rposition(|&b| b > 0)
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one (sum saturates).
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 }
 
@@ -269,6 +277,55 @@ mod tests {
         let h = Log2Histogram::new();
         assert_eq!(h.mean(), None);
         assert_eq!(h.max_bucket(), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn log2_single_sample() {
+        let mut h = Log2Histogram::new();
+        h.record(37);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 37);
+        assert_eq!(h.mean(), Some(37.0));
+        assert_eq!(h.max_bucket(), Some(5));
+    }
+
+    #[test]
+    fn log2_u64_max_lands_in_top_bucket_and_saturates() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum would overflow; must saturate instead
+        assert_eq!(h.bucket(63), 2);
+        assert_eq!(h.max_bucket(), Some(63));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX);
+        assert!(h.mean().unwrap().is_finite());
+    }
+
+    #[test]
+    fn log2_merge_empty_both_ways() {
+        let mut full = Log2Histogram::new();
+        full.record(8);
+        full.record(9);
+        let before = full.clone();
+        full.merge(&Log2Histogram::new()); // nonempty ← empty
+        assert_eq!(full, before);
+
+        let mut empty = Log2Histogram::new();
+        empty.merge(&before); // empty ← nonempty
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn log2_merge_saturates_sum() {
+        let mut a = Log2Histogram::new();
+        a.record(u64::MAX);
+        let mut b = Log2Histogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 2);
     }
 
     proptest! {

@@ -24,4 +24,4 @@ pub use audit::{AuditLedger, VaultAudit};
 pub use counter::{Counter, Ratio};
 pub use histogram::{Histogram, Log2Histogram};
 pub use running::Running;
-pub use summary::{geomean, mean, normalize_to, percent_change};
+pub use summary::{geomean, mean, normalize_to, percent_change, NormalizeError};

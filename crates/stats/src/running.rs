@@ -134,6 +134,27 @@ mod tests {
         assert_eq!(a, before);
     }
 
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let mut r = Running::new();
+        r.record(42.0);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.mean(), Some(42.0));
+        assert_eq!(r.variance(), Some(0.0));
+        assert_eq!(r.stddev(), Some(0.0));
+        assert_eq!(r.min(), Some(42.0));
+        assert_eq!(r.max(), Some(42.0));
+    }
+
+    #[test]
+    fn extreme_magnitudes_stay_finite() {
+        let mut r = Running::new();
+        r.record(u64::MAX as f64);
+        r.record(1.0);
+        assert!(r.mean().unwrap().is_finite());
+        assert!(r.variance().unwrap().is_finite());
+    }
+
     proptest! {
         #[test]
         fn merge_equals_sequential(

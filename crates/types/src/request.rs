@@ -80,6 +80,17 @@ impl ServiceSource {
     pub fn is_conflict(self) -> bool {
         matches!(self, Self::RowBufferConflict)
     }
+
+    /// Stable lowercase name, used in trace and metrics output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::PrefetchBuffer => "prefetch_buffer",
+            Self::RowBufferHit => "row_hit",
+            Self::RowBufferMiss => "row_miss",
+            Self::RowBufferConflict => "row_conflict",
+        }
+    }
 }
 
 /// The completion notification for a [`MemRequest`].

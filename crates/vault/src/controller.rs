@@ -5,6 +5,7 @@ use crate::stats::VaultStats;
 use camps_dram::bank::{AccessCategory, Bank};
 use camps_dram::timing::TimingCpu;
 use camps_dram::window::ActWindow;
+use camps_obs::{Point, TraceHandle};
 use camps_prefetch::buffer::PrefetchBuffer;
 use camps_prefetch::scheme::{PfAction, PrefetchScheme, SchemeKind};
 use camps_types::addr::{DecodedAddr, RowKey};
@@ -101,6 +102,10 @@ pub struct VaultController {
     resp_seq: u64,
     hit_latency: Cycle,
     stats: VaultStats,
+    /// Observability hooks. Runtime pacing only — like `Engine`, this is
+    /// deliberately excluded from [`Snapshot`] so checkpoints stay
+    /// byte-identical with and without observability.
+    obs: TraceHandle,
 }
 
 impl VaultController {
@@ -157,6 +162,7 @@ impl VaultController {
             resp_seq: 0,
             hit_latency: cfg.prefetch.hit_latency,
             stats: VaultStats::new(),
+            obs: TraceHandle::disabled(),
         })
     }
 
@@ -164,6 +170,35 @@ impl VaultController {
     #[must_use]
     pub fn id(&self) -> u16 {
         self.id
+    }
+
+    /// Installs the observability hooks this vault stamps into.
+    pub fn set_obs(&mut self, obs: TraceHandle) {
+        self.obs = obs;
+    }
+
+    /// Demand read-queue depth (metrics gauge).
+    #[must_use]
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Demand write-queue depth (metrics gauge).
+    #[must_use]
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// `(resident rows, capacity)` of the prefetch buffer (metrics gauge).
+    #[must_use]
+    pub fn buffer_occupancy(&self) -> (usize, usize) {
+        (self.buffer.len(), self.buffer.capacity())
+    }
+
+    /// The scheme's `(RUT, CT)` occupancy (metrics gauge).
+    #[must_use]
+    pub fn table_occupancy(&self) -> (usize, usize) {
+        self.scheme.table_occupancy()
     }
 
     /// Statistics so far (energy's buffer-access count is synced in
@@ -227,6 +262,7 @@ impl VaultController {
         if self.buffer.access(key, decoded.col, now, is_write) {
             self.stats.buffer_hits.inc();
             self.scheme.on_buffer_hit(key, first_touch);
+            self.obs.stamp(req.id.0, Point::ServiceStart, now);
             self.push_response(req, now + self.hit_latency, ServiceSource::PrefetchBuffer);
             if is_write {
                 self.stats.writes.inc();
@@ -331,6 +367,13 @@ impl VaultController {
             match self.fetches[i].done {
                 Some(done) if done <= now => {
                     let job = self.fetches.swap_remove(i);
+                    self.obs.fetch_span(
+                        self.id,
+                        u32::from(job.key.bank),
+                        u64::from(job.key.row),
+                        job.spawned,
+                        now,
+                    );
                     self.insert_prefetched(job.key, now, job.seed_util);
                     if job.precharge_after {
                         self.want_precharge[usize::from(job.key.bank)] = true;
@@ -406,6 +449,7 @@ impl VaultController {
                     self.write_q.remove(i);
                 } else {
                     self.stats.reads.inc();
+                    self.obs.stamp(q.req.id.0, Point::ServiceStart, now);
                     self.push_response(q.req, now + hit_latency, ServiceSource::PrefetchBuffer);
                     self.read_q.remove(i);
                 }
@@ -614,6 +658,7 @@ impl VaultController {
 
         match q.req.kind {
             AccessKind::Read => {
+                self.obs.stamp(q.req.id.0, Point::ServiceStart, now);
                 let done = bank.read(now, &self.timing);
                 // The TSV data bus carries this burst t_CL later; bursts
                 // pipeline behind CAS, so the bus slot is one t_BURST.

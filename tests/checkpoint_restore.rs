@@ -9,7 +9,9 @@
 
 use camps::experiment::{resume_mix, run_mix_recoverable};
 use camps::recovery::{read_snapshot, snapshot_to_string, RecoveryPolicy, SNAPSHOT_FORMAT_VERSION};
+use camps::system::Engine;
 use camps::System;
+use camps_obs::ObsConfig;
 use camps_sim::prelude::*;
 use std::path::PathBuf;
 
@@ -104,6 +106,56 @@ fn watchdog_trip_with_zero_budget_propagates_the_typed_error() {
         matches!(err, SimError::Watchdog(_)),
         "the original typed error must survive, got {err}"
     );
+}
+
+#[test]
+fn snapshots_are_byte_identical_with_and_without_observability() {
+    // Observability is runtime-only state: a machine with full tracing
+    // and metrics sampling enabled must checkpoint to the exact bytes a
+    // bare machine does, or restores would depend on how a run was
+    // watched.
+    let cfg = SystemConfig::paper_default();
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let capacity = cfg
+        .hmc
+        .address_mapping()
+        .expect("valid mapping")
+        .capacity_bytes();
+    let build = || {
+        let traces = mix.build_traces(capacity, 0xFEED).expect("traces");
+        let mut sys = System::new(&cfg, SchemeKind::CampsMod, traces).expect("system");
+        // Polling: both machines advance one cycle per step, so they
+        // reach the same checkpoint cycle regardless of the sampler's
+        // extra wake source.
+        sys.set_engine(Engine::Polling);
+        sys
+    };
+    let mut bare = build();
+    let mut observed = build();
+    observed.enable_obs(&ObsConfig {
+        trace_out: Some(tmp("identity.trace.json")),
+        metrics_every: Some(100),
+        metrics_out: Some(tmp("identity.metrics.jsonl")),
+        ..ObsConfig::default()
+    });
+    let mut run_a = bare.run_begin(3_000, 2_000_000);
+    let mut run_b = observed.run_begin(3_000, 2_000_000);
+    while bare.now() < 500 {
+        assert!(bare.run_step(&mut run_a).expect("step"), "ended too early");
+    }
+    while observed.now() < 500 {
+        assert!(
+            observed.run_step(&mut run_b).expect("step"),
+            "ended too early"
+        );
+    }
+    assert!(
+        observed.obs().samples() > 0,
+        "the observed machine must actually be sampling"
+    );
+    let a = snapshot_to_string(&bare, &run_a, "HM1", 0xFEED).expect("serialize bare");
+    let b = snapshot_to_string(&observed, &run_b, "HM1", 0xFEED).expect("serialize observed");
+    assert_eq!(a, b, "observability state leaked into the snapshot");
 }
 
 // ---------------------------------------------------------------------

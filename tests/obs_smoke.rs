@@ -1,0 +1,229 @@
+//! Observability smoke tests (ISSUE acceptance).
+//!
+//! A traced run must export a Perfetto-loadable Chrome trace-event JSON
+//! carrying at least six distinct request-stage span types plus the
+//! recovery/fault events; the metrics time-series must be well-formed;
+//! and on a merge-free read workload the per-stage latency breakdown
+//! must reconcile with the run's `amat_mem` within 1%.
+
+use camps::experiment::{run_mix_observed, run_mix_recoverable_observed};
+use camps::recovery::RecoveryPolicy;
+use camps::system::Engine;
+use camps_cpu::trace::{TraceOp, TraceSource, VecTrace};
+use camps_obs::{ObsConfig, METRICS_SCHEMA_VERSION};
+use camps_sim::prelude::*;
+use camps_types::addr::PhysAddr;
+use serde::value::{lookup, Value};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("camps-obs-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn tiny() -> RunLength {
+    RunLength {
+        warmup_instructions: 2_000,
+        instructions: 6_000,
+        max_cycles: 2_000_000,
+    }
+}
+
+/// Event names in the trace, split by phase: async span begins (`b`),
+/// instants (`i`), and complete slices (`X`).
+struct TraceNames {
+    spans: BTreeSet<String>,
+    instants: BTreeSet<String>,
+    slices: BTreeSet<String>,
+}
+
+fn read_trace_names(path: &PathBuf) -> TraceNames {
+    let text = std::fs::read_to_string(path).expect("trace file exists");
+    let doc: Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    let root = doc.as_map().expect("trace root is an object");
+    let Some(Value::Seq(events)) = lookup(root, "traceEvents") else {
+        panic!("trace has no traceEvents array");
+    };
+    let mut names = TraceNames {
+        spans: BTreeSet::new(),
+        instants: BTreeSet::new(),
+        slices: BTreeSet::new(),
+    };
+    for ev in events {
+        let ev = ev.as_map().expect("event is an object");
+        let ph = lookup(ev, "ph").and_then(Value::as_str).unwrap_or("");
+        let name = lookup(ev, "name").and_then(Value::as_str).unwrap_or("");
+        let set = match ph {
+            "b" => &mut names.spans,
+            "i" => &mut names.instants,
+            "X" => &mut names.slices,
+            _ => continue,
+        };
+        set.insert(name.to_string());
+    }
+    names
+}
+
+#[test]
+fn traced_recovery_run_exports_all_span_kinds() {
+    // The checkpoint_restore fault scenario, now observed: vault 3
+    // wedges, the watchdog trips, recovery rolls back and retries.
+    let mut cfg = SystemConfig::paper_default();
+    cfg.faults.stall_vault = 3;
+    cfg.faults.stall_vault_from = 1;
+    cfg.integrity.watchdog_cycles = 20_000;
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let policy = RecoveryPolicy {
+        max_recoveries: 2,
+        checkpoint_every: Some(10_000),
+        checkpoint_path: None,
+    };
+    let trace_path = tmp("recovery.trace.json");
+    let obs_cfg = ObsConfig {
+        trace_out: Some(trace_path.clone()),
+        ..ObsConfig::default()
+    };
+    let (result, report) = run_mix_recoverable_observed(
+        &cfg,
+        mix,
+        SchemeKind::CampsMod,
+        &tiny(),
+        0xFEED,
+        &policy,
+        &obs_cfg,
+    )
+    .expect("recovery must complete the run");
+    assert!(report.recovered(), "the stall must force a rollback");
+
+    let names = read_trace_names(&trace_path);
+    assert!(
+        names.spans.len() >= 6,
+        "want ≥6 distinct stage span types, got {:?}",
+        names.spans
+    );
+    for stage in [
+        "cache_mshr",
+        "host_queue",
+        "req_link",
+        "vault_queue",
+        "resp_link",
+    ] {
+        assert!(names.spans.contains(stage), "missing span type {stage}");
+    }
+    assert!(
+        names.spans.iter().any(|n| n.starts_with("bank_")),
+        "no bank service span in {:?}",
+        names.spans
+    );
+    for instant in ["checkpoint", "watchdog_trip", "fault_vault_stall"] {
+        assert!(
+            names.instants.contains(instant),
+            "missing instant {instant} in {:?}",
+            names.instants
+        );
+    }
+    assert!(
+        names.slices.contains("rollback"),
+        "missing rollback slice in {:?}",
+        names.slices
+    );
+
+    // The breakdown rides in the result of an observed run.
+    let breakdown = result.stage_latency.expect("observed run has a breakdown");
+    assert_eq!(breakdown.stages.len(), 9, "fixed-width stage schema");
+    assert!(breakdown.demand_reads > 0);
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn metrics_series_is_well_formed_and_monotonic() {
+    let mix = Mix::by_id("LM1").expect("known mix");
+    let metrics_path = tmp("plain.metrics.jsonl");
+    let obs_cfg = ObsConfig {
+        metrics_every: Some(500),
+        metrics_out: Some(metrics_path.clone()),
+        ..ObsConfig::default()
+    };
+    let cfg = SystemConfig::paper_default();
+    run_mix_observed(
+        &cfg,
+        mix,
+        SchemeKind::Camps,
+        &tiny(),
+        7,
+        Engine::Event,
+        &obs_cfg,
+    )
+    .expect("observed run");
+
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics file exists");
+    let mut rows = 0u64;
+    let mut last_cycle: Option<u64> = None;
+    let mut last_retired = 0u64;
+    for line in text.lines() {
+        let row: Value = serde_json::from_str(line).expect("row is valid JSON");
+        let row = row.as_map().expect("row is an object");
+        assert_eq!(
+            lookup(row, "schema"),
+            Some(&Value::U64(u64::from(METRICS_SCHEMA_VERSION))),
+            "schema version mismatch"
+        );
+        let Some(&Value::U64(cycle)) = lookup(row, "cycle") else {
+            panic!("row has no cycle: {line}");
+        };
+        if let Some(prev) = last_cycle {
+            assert!(
+                cycle > prev,
+                "cycles must strictly increase ({prev} → {cycle})"
+            );
+        }
+        last_cycle = Some(cycle);
+        // Counters are cumulative: retired never decreases.
+        let Some(&Value::U64(retired)) = lookup(row, "retired") else {
+            panic!("row has no retired: {line}");
+        };
+        assert!(retired >= last_retired, "retired went backwards");
+        last_retired = retired;
+        rows += 1;
+    }
+    assert!(rows > 10, "expected a real series, got {rows} rows");
+    assert!(last_retired > 0, "the series never saw progress");
+    std::fs::remove_file(&metrics_path).ok();
+}
+
+#[test]
+fn stage_breakdown_reconciles_with_amat_on_merge_free_reads() {
+    // One narrow core streaming loads with a row-sized stride: every
+    // access is a distinct block (no MSHR merging), every load is a
+    // demand read, so the telescoped stage sums must reproduce the
+    // `amat_mem` accounting exactly. No warmup: the histograms and the
+    // AMAT accumulator must see the same set of reads.
+    let mut cfg = SystemConfig::paper_default();
+    cfg.cpu.cores = 1;
+    let ops: Vec<TraceOp> = (0..4096u64)
+        .map(|i| TraceOp::load(2, PhysAddr(i * (1 << 13))))
+        .collect();
+    let traces: Vec<Box<dyn TraceSource>> =
+        vec![Box::new(VecTrace::new("stream".to_string(), ops))];
+    let mut sys = System::new(&cfg, SchemeKind::Camps, traces).expect("system");
+    sys.enable_obs(&ObsConfig::default());
+    let result = sys.run(8_000, 2_000_000, "reconcile").expect("run");
+
+    let breakdown = result.stage_latency.expect("observed run has a breakdown");
+    assert!(breakdown.demand_reads > 100, "not enough traced reads");
+    let stage_sum: f64 = breakdown.stages.iter().map(|s| s.mean_cycles).sum();
+    let relative = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+    assert!(
+        relative(stage_sum, breakdown.mean_total) < 1e-9,
+        "stage means must telescope: sum {stage_sum} vs total {}",
+        breakdown.mean_total
+    );
+    assert!(
+        relative(breakdown.mean_total, result.amat_mem) < 0.01,
+        "breakdown {:.3} does not reconcile with amat_mem {:.3}",
+        breakdown.mean_total,
+        result.amat_mem
+    );
+}

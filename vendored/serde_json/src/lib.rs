@@ -302,12 +302,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal run of unescaped bytes in one
+                    // shot. Validating only this chunk keeps the parser
+                    // linear; `"` and `\` are ASCII, so stopping on them
+                    // never splits a multi-byte scalar.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid UTF-8 in JSON string"))?;
-                    let c = rest.chars().next().expect("nonempty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
                 None => return Err(Error::new("unterminated JSON string")),
             }
@@ -363,5 +371,52 @@ impl Parser<'_> {
                 _ => return Err(Error::new("expected `,` or `}` in JSON object")),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_round_trip_escapes_and_unicode() {
+        for s in [
+            "",
+            "plain ascii",
+            "quote \" backslash \\ slash /",
+            "newline \n tab \t return \r",
+            "control \u{1} \u{1f}",
+            "unicode é λ 次 🚀 mixed with ascii",
+        ] {
+            let mut json = String::new();
+            write_string(&mut json, s);
+            let parsed: Value = from_str(&json).expect("parse back");
+            assert_eq!(parsed, Value::Str(s.to_string()), "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn string_parsing_is_linear_in_input_size() {
+        // A single long string member exercises the bulk-copy path; a
+        // quadratic parser (re-validating the whole tail per character)
+        // turns this megabyte into minutes.
+        let long = "x".repeat(1 << 20);
+        let json = format!("{{\"k\": \"{long}\"}}");
+        let start = std::time::Instant::now();
+        let parsed: Value = from_str(&json).expect("parse");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing took {:?} for 1 MiB",
+            start.elapsed()
+        );
+        let map = parsed.as_map().expect("object");
+        assert_eq!(map[0].1, Value::Str(long));
+    }
+
+    #[test]
+    fn bad_strings_are_rejected() {
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("\"bad escape \\q\"").is_err());
+        assert!(from_str::<Value>("\"truncated \\u00\"").is_err());
     }
 }
