@@ -7,17 +7,59 @@
 //! machine state stays bounded across iterations (no state leak across
 //! rollbacks).
 //!
+//! With `--adversarial` (or `SOAK_ADVERSARIAL=1`), every other iteration
+//! swaps the Table II mix for a hammer/thrash/pollution attack stream
+//! (see `camps-workloads`'s `adversarial` module) and runs it over a
+//! fixed cycle horizon — attack streams starve cores by design, so a
+//! retirement target would never be met. The zero-unrecovered-aborts
+//! assertion holds for attack iterations exactly as for mix iterations.
+//!
 //! ```text
 //! SOAK_SECONDS=90 SOAK_SEED=1 cargo run --release -p camps-bench --bin soak
+//! SOAK_SECONDS=45 cargo run --release -p camps-bench --bin soak -- --adversarial
 //! ```
 
 use camps::recovery::{run_with_recovery, snapshot_to_string, RecoveryPolicy};
 use camps::System;
+use camps_cpu::trace::TraceSource;
+use camps_dram::TimingCpu;
 use camps_prefetch::SchemeKind;
 use camps_types::config::SystemConfig;
-use camps_workloads::ALL_MIXES;
+use camps_workloads::{AdversarialSpec, AdversarialTrace, AttackKind, ALL_MIXES};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+
+/// Cycle horizon for adversarial iterations (~6 refresh windows).
+const ATTACK_CYCLES: u64 = 150_000;
+
+/// Attack rotation for `--adversarial` iterations.
+const ATTACKS: [AttackKind; 4] = [
+    AttackKind::HammerDouble,
+    AttackKind::HammerSingle,
+    AttackKind::ConflictThrash,
+    AttackKind::BufferPollution,
+];
+
+/// One attack stream per core, each hammering its own vault.
+fn attack_traces(
+    cfg: &SystemConfig,
+    kind: AttackKind,
+    seed: u64,
+) -> Result<Vec<Box<dyn TraceSource>>, String> {
+    let t_refw = TimingCpu::from_config(&cfg.dram, cfg.cpu.freq_hz).t_refi;
+    (0..cfg.cpu.cores)
+        .map(|i| {
+            let vault = (i % cfg.hmc.vaults) as u16;
+            AdversarialTrace::new(
+                AdversarialSpec::preset(kind, vault, seed ^ (u64::from(i) << 32)),
+                &cfg.hmc,
+                t_refw,
+            )
+            .map(|t| Box::new(t) as Box<dyn TraceSource>)
+            .map_err(|e| format!("{}: {e}", kind.as_str()))
+        })
+        .collect()
+}
 
 /// Snapshot-size ceiling per iteration. The small() machine serializes
 /// to low single-digit MB; 64 MB means runaway state growth.
@@ -51,16 +93,29 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn main() -> ExitCode {
     let budget = Duration::from_secs(env_u64("SOAK_SECONDS", 90));
     let seed = env_u64("SOAK_SEED", 0xCA3B5);
+    let mut adversarial = env_u64("SOAK_ADVERSARIAL", 0) != 0;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--adversarial" => adversarial = true,
+            other => {
+                eprintln!("soak: unknown option `{other}` (try --adversarial)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let deadline = Instant::now() + budget;
     let mut rng = XorShift(seed | 1);
 
+    let mut iterations = 0u64;
     let mut runs = 0u64;
+    let mut attack_runs = 0u64;
     let mut faulty_runs = 0u64;
     let mut recovered_runs = 0u64;
     let mut rollbacks = 0u64;
     let mut max_snapshot = 0usize;
 
     while Instant::now() < deadline {
+        iterations += 1;
         // paper_default: the Table II mixes need its full capacity.
         // Tight (but legal) watchdog so stalls are detected quickly.
         let mut cfg = SystemConfig::paper_default();
@@ -82,6 +137,19 @@ fn main() -> ExitCode {
         }
         let scheme = SchemeKind::ALL[rng.below(SchemeKind::ALL.len() as u64) as usize];
         let mix = &ALL_MIXES[rng.below(ALL_MIXES.len() as u64) as usize];
+        // With --adversarial, every other iteration runs an attack stream
+        // instead of a mix; the attack starves cores, so it gets a fixed
+        // cycle horizon rather than a retirement target.
+        let attack = if adversarial && iterations.is_multiple_of(2) {
+            Some(ATTACKS[rng.below(ATTACKS.len() as u64) as usize])
+        } else {
+            None
+        };
+        let label = attack.map_or(mix.id, |k| k.as_str());
+        let (target_instructions, max_cycles) = match attack {
+            Some(_) => (u64::MAX, ATTACK_CYCLES),
+            None => (5_000, 2_000_000),
+        };
 
         let capacity = match cfg.hmc.address_mapping() {
             Ok(m) => m.capacity_bytes(),
@@ -90,7 +158,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let traces = match mix.build_traces(capacity, seed ^ runs) {
+        let traces = match attack {
+            Some(kind) => attack_traces(&cfg, kind, seed ^ runs),
+            None => mix
+                .build_traces(capacity, seed ^ runs)
+                .map_err(|e| e.to_string()),
+        };
+        let traces = match traces {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("soak: trace build failed: {e}");
@@ -109,9 +183,19 @@ fn main() -> ExitCode {
             checkpoint_every: Some(2_000),
             checkpoint_path: None,
         };
-        match run_with_recovery(&mut sys, 5_000, 2_000_000, mix.id, seed, &policy) {
+        match run_with_recovery(
+            &mut sys,
+            target_instructions,
+            max_cycles,
+            label,
+            seed,
+            &policy,
+        ) {
             Ok((result, report)) => {
                 runs += 1;
+                if attack.is_some() {
+                    attack_runs += 1;
+                }
                 if fault != 2 {
                     faulty_runs += 1;
                 }
@@ -120,14 +204,13 @@ fn main() -> ExitCode {
                     rollbacks += report.events.len() as u64;
                 }
                 if result.cycles == 0 {
-                    eprintln!("soak: {} {scheme:?} produced an empty run", mix.id);
+                    eprintln!("soak: {label} {scheme:?} produced an empty run");
                     return ExitCode::FAILURE;
                 }
             }
             Err(e) => {
                 eprintln!(
-                    "soak: UNRECOVERED abort on {} {scheme:?} (fault class {fault}): {e}",
-                    mix.id
+                    "soak: UNRECOVERED abort on {label} {scheme:?} (fault class {fault}): {e}"
                 );
                 return ExitCode::FAILURE;
             }
@@ -135,7 +218,7 @@ fn main() -> ExitCode {
         // A drained machine must serialize to a bounded snapshot: growth
         // here would mean rollbacks leak state.
         let run = sys.run_begin(0, 0);
-        match snapshot_to_string(&sys, &run, mix.id, seed) {
+        match snapshot_to_string(&sys, &run, label, seed) {
             Ok(text) => {
                 max_snapshot = max_snapshot.max(text.len());
                 if text.len() > MAX_SNAPSHOT_BYTES {
@@ -154,11 +237,16 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "soak: {runs} runs ({faulty_runs} faulted, {recovered_runs} recovered via {rollbacks} \
-         rollbacks), max snapshot {max_snapshot} bytes, 0 unrecovered aborts"
+        "soak: {runs} runs ({attack_runs} adversarial, {faulty_runs} faulted, {recovered_runs} \
+         recovered via {rollbacks} rollbacks), max snapshot {max_snapshot} bytes, \
+         0 unrecovered aborts"
     );
     if runs == 0 {
         eprintln!("soak: budget too small to finish a single run");
+        return ExitCode::FAILURE;
+    }
+    if adversarial && attack_runs == 0 {
+        eprintln!("soak: --adversarial ran no attack iterations");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -4,6 +4,7 @@ use camps_cpu::core_model::CoreStats;
 use camps_obs::StageBreakdown;
 use camps_prefetch::SchemeKind;
 use camps_stats::summary::geomean;
+use camps_stats::AmplificationReport;
 use camps_types::clock::Cycle;
 use camps_types::config::SystemConfig;
 use camps_vault::VaultStats;
@@ -38,6 +39,10 @@ pub struct RunResult {
     /// from older serialized results).
     #[serde(default)]
     pub stage_latency: Option<StageBreakdown>,
+    /// RowHammer activation-amplification summary (absent from results
+    /// serialized before the adversarial workload layer existed).
+    #[serde(default)]
+    pub amplification: Option<AmplificationReport>,
 }
 
 impl RunResult {
@@ -221,6 +226,7 @@ mod tests {
             cycles: 1,
             energy_nj: 0.0,
             stage_latency: None,
+            amplification: None,
         }
     }
 

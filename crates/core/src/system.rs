@@ -923,6 +923,14 @@ impl System {
             })
             .collect();
         let vaults = self.mem.hmc_mut().finalize(self.now);
+        let amplification = Some(camps_stats::AmplificationReport::from_counts(
+            vaults.demand_activations.get(),
+            vaults.prefetch_activations.get(),
+            vaults.writeback_activations.get(),
+            vaults.worst_row_window_acts,
+            vaults.mitigations.get(),
+            vaults.refreshes.get(),
+        ));
         Ok(RunResult {
             scheme: self.scheme,
             mix_id: mix_id.to_string(),
@@ -939,6 +947,7 @@ impl System {
             cycles: elapsed,
             energy_nj: 0.0, // filled below (needs cfg)
             stage_latency: self.obs.breakdown(),
+            amplification,
         }
         .with_energy(&self.cfg))
     }
@@ -959,6 +968,8 @@ impl System {
         let mut row_conflicts = 0u64;
         let mut buffer_hits = 0u64;
         let mut prefetches = 0u64;
+        let mut worst_row_window_acts = 0u64;
+        let mut rowguard_mitigations = 0u64;
         for v in hmc.vaults() {
             vault_read_queue += v.read_queue_len() as u64;
             vault_write_queue += v.write_queue_len() as u64;
@@ -974,6 +985,9 @@ impl System {
             row_conflicts += s.row_conflicts.get();
             buffer_hits += s.buffer_hits.get();
             prefetches += s.prefetches.get();
+            // Worst-case exposure is a max across vaults, like the merge.
+            worst_row_window_acts = worst_row_window_acts.max(s.worst_row_window_acts);
+            rowguard_mitigations += s.mitigations.get();
         }
         let (traced_reads, traced_cycles) = self.obs.traced_reads();
         self.obs.push_sample(MetricsSample {
@@ -1002,6 +1016,8 @@ impl System {
             traced_cycles,
             wake_ticks: self.wake_ticks,
             cycles_skipped: self.cycles_skipped,
+            worst_row_window_acts,
+            rowguard_mitigations,
         });
     }
 

@@ -231,6 +231,19 @@ impl Bank {
         self.open_cycles
     }
 
+    /// Charges the bank a TRR-style targeted neighbor refresh: the two
+    /// physical neighbors of a hammered row are each given a private
+    /// activate + precharge cycle, stolen from whatever this bank would
+    /// have done next. Modeled as pushing the next ACT opportunity out by
+    /// 2 × tRC — the bank may keep serving its *open* row (real TRR fires
+    /// between row cycles), but cannot open another row until the
+    /// neighbor refreshes are done. Purely additive to `ready_act`, so it
+    /// can never violate a timing invariant or wedge the state machine:
+    /// waiting always re-enables activation.
+    pub fn trr_neighbor_refresh(&mut self, now: Cycle, t: &TimingCpu) {
+        self.ready_act = self.ready_act.max(now + 2 * t.t_rc);
+    }
+
     /// True once a refresh may begin (bank idle, timing satisfied).
     #[must_use]
     pub fn can_refresh(&self, now: Cycle) -> bool {
@@ -413,6 +426,21 @@ mod tests {
         b.refresh(0, &tm);
         assert!(!b.can_activate(tm.t_rfc - 1));
         assert!(b.can_activate(tm.t_rfc));
+    }
+
+    #[test]
+    fn trr_penalty_delays_the_next_activation_only() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &tm);
+        b.trr_neighbor_refresh(tm.t_rcd, &tm);
+        // The open row keeps serving — bursts are unaffected.
+        assert!(b.can_rdwr(tm.t_rcd));
+        b.precharge(tm.t_ras, &tm);
+        // …but the next ACT waits out the two stolen neighbor row cycles.
+        let penalty_end = tm.t_rcd + 2 * tm.t_rc;
+        assert!(!b.can_activate(penalty_end - 1));
+        assert!(b.can_activate(penalty_end));
     }
 
     #[test]

@@ -12,10 +12,12 @@
 
 pub mod bank;
 pub mod energy;
+pub mod rowguard;
 pub mod timing;
 pub mod window;
 
 pub use bank::{AccessCategory, Bank};
 pub use energy::EnergyCounters;
+pub use rowguard::RowGuard;
 pub use timing::TimingCpu;
 pub use window::ActWindow;

@@ -83,6 +83,13 @@ pub struct MetricsSample {
     pub wake_ticks: u64,
     /// Cycles the event engine skipped without ticking.
     pub cycles_skipped: u64,
+    /// Worst per-row activation count inside any refresh window so far
+    /// (max across vaults — the RowHammer exposure gauge).
+    #[serde(default)]
+    pub worst_row_window_acts: u64,
+    /// TRR-style neighbor refreshes injected by the rowguard mitigation.
+    #[serde(default)]
+    pub rowguard_mitigations: u64,
 }
 
 /// Field order shared by the CSV header and rows — keep in sync with
@@ -93,7 +100,8 @@ pub struct MetricsSample {
 pub(crate) const CSV_HEADER: &str = "schema,cycle,retired,responses,mem_reads,buffer_served,\
 host_queue,mshr_in_flight,writeback_queue,vault_read_queue,vault_write_queue,buffer_rows,\
 buffer_capacity,rut_entries,ct_entries,row_hits,row_misses,row_conflicts,buffer_hits,\
-prefetches,amat_mem_mean,traced_reads,traced_cycles,wake_ticks,cycles_skipped";
+prefetches,amat_mem_mean,traced_reads,traced_cycles,wake_ticks,cycles_skipped,\
+worst_row_window_acts,rowguard_mitigations";
 
 impl MetricsSample {
     /// One CSV row, field order matching [`CSV_HEADER`].
@@ -101,7 +109,7 @@ impl MetricsSample {
     #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     pub(crate) fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{}",
             self.schema,
             self.cycle,
             self.retired,
@@ -127,6 +135,8 @@ impl MetricsSample {
             self.traced_cycles,
             self.wake_ticks,
             self.cycles_skipped,
+            self.worst_row_window_acts,
+            self.rowguard_mitigations,
         )
     }
 }

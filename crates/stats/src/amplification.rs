@@ -1,0 +1,99 @@
+//! RowHammer activation-amplification accounting.
+//!
+//! A prefetching scheme issues ACT commands *beyond* what demand traffic
+//! requires — whole-row fetches into the prefetch buffer and writebacks
+//! of dirty evictions. Under an adversarial access stream those extra
+//! activations can multiply an aggressor row's toggle rate: the scheme
+//! itself becomes a hammer amplifier (see ρHammer, PAPERS.md). The
+//! [`AmplificationReport`] condenses a run's activation attribution into
+//! the single ratio the adversarial bench ranks schemes by.
+
+use serde::{Deserialize, Serialize};
+
+/// Worst-case RowHammer exposure summary for one run, built from the
+/// merged vault statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AmplificationReport {
+    /// ACT commands attributable to demand requests — what a no-prefetch
+    /// memory would have issued.
+    pub demand_activations: u64,
+    /// ACT commands issued to fetch rows into the prefetch buffer.
+    pub prefetch_activations: u64,
+    /// ACT commands issued to write dirty prefetched rows back.
+    pub writeback_activations: u64,
+    /// Worst per-row activation count inside any single refresh window
+    /// (max across vaults): the number a RowHammer attacker maximizes.
+    pub worst_row_window_acts: u64,
+    /// TRR-style neighbor refreshes injected by the mitigation (zero
+    /// with the knob off).
+    pub mitigations: u64,
+    /// All-bank refreshes performed (window boundaries observed).
+    pub refreshes: u64,
+    /// Total ACTs over demand ACTs. A no-prefetch scheme scores exactly
+    /// 1.0; anything above 1.0 is activation traffic the scheme *added*,
+    /// i.e. hammer pressure an attacker gets for free.
+    pub hammer_amplification: f64,
+}
+
+impl AmplificationReport {
+    /// Builds the report from attributed activation counts.
+    /// `hammer_amplification` guards the demand denominator so an
+    /// all-prefetch pathological run reports a finite ratio.
+    #[must_use]
+    pub fn from_counts(
+        demand: u64,
+        prefetch: u64,
+        writeback: u64,
+        worst_row_window_acts: u64,
+        mitigations: u64,
+        refreshes: u64,
+    ) -> Self {
+        let total = demand + prefetch + writeback;
+        Self {
+            demand_activations: demand,
+            prefetch_activations: prefetch,
+            writeback_activations: writeback,
+            worst_row_window_acts,
+            mitigations,
+            refreshes,
+            hammer_amplification: total as f64 / demand.max(1) as f64,
+        }
+    }
+
+    /// Total ACT commands across all attributions.
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.demand_activations + self.prefetch_activations + self.writeback_activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefetch_scores_exactly_one() {
+        let r = AmplificationReport::from_counts(1_000, 0, 0, 12, 0, 4);
+        assert_eq!(r.hammer_amplification, 1.0);
+        assert_eq!(r.total_activations(), 1_000);
+    }
+
+    #[test]
+    fn prefetch_and_writeback_amplify() {
+        let r = AmplificationReport::from_counts(100, 40, 10, 60, 0, 4);
+        assert_eq!(r.hammer_amplification, 1.5);
+    }
+
+    #[test]
+    fn zero_demand_stays_finite() {
+        let r = AmplificationReport::from_counts(0, 7, 0, 7, 0, 0);
+        assert_eq!(r.hammer_amplification, 7.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let r = AmplificationReport::from_counts(100, 40, 10, 60, 3, 4);
+        let back = AmplificationReport::from_value(&r.to_value()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -5,6 +5,8 @@
 //! harness turns into the paper's tables and figures.
 //!
 //! * [`counter`] — event counters and hit/total ratios,
+//! * [`amplification`] — RowHammer activation-amplification reports for
+//!   the adversarial workload layer,
 //! * [`audit`] — per-vault request-conservation ledgers for the request
 //!   auditor,
 //! * [`histogram`] — linear and log₂ latency histograms,
@@ -14,12 +16,14 @@
 
 #![warn(missing_docs)]
 
+pub mod amplification;
 pub mod audit;
 pub mod counter;
 pub mod histogram;
 pub mod running;
 pub mod summary;
 
+pub use amplification::AmplificationReport;
 pub use audit::{AuditLedger, VaultAudit};
 pub use counter::{Counter, Ratio};
 pub use histogram::{Histogram, Log2Histogram};

@@ -307,6 +307,35 @@ impl Default for CoreSidePrefetchConfig {
     }
 }
 
+/// Per-row activation tracking and TRR/PARA-style RowHammer mitigation
+/// inside each vault controller. Tracking is always on (it is pure
+/// observation — counters only, no timing effect); the mitigation knob
+/// is **off by default** so paper results are untouched. One all-bank
+/// refresh happens every `tREFI` and refreshes *every* row in this
+/// model, so `tREFI` is the effective activation window (tREFW) the
+/// per-row counters are measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowGuardConfig {
+    /// Inject a TRR-style neighbor refresh (stealing bank time) whenever
+    /// a row crosses `threshold` activations inside one refresh window.
+    pub enable_mitigation: bool,
+    /// In-window activation count that triggers mitigation. Must be
+    /// nonzero when mitigation is enabled. The default sits far above
+    /// anything a benign workload reaches within one ~23 k-cycle window
+    /// (a bank can fit at most ~tREFI/tRC ≈ 160 activations) but well
+    /// inside an aggressor stream's reach.
+    pub threshold: u32,
+}
+
+impl Default for RowGuardConfig {
+    fn default() -> Self {
+        Self {
+            enable_mitigation: false,
+            threshold: 64,
+        }
+    }
+}
+
 /// Runtime integrity checking: the request auditor and the forward-progress
 /// watchdog. Both are *checkers*, not model features — they never change
 /// simulated behavior, only whether a broken run fails loudly.
@@ -423,6 +452,9 @@ pub struct SystemConfig {
     /// Optional core-side next-line prefetcher (two-level prefetching).
     #[serde(default)]
     pub core_prefetch: CoreSidePrefetchConfig,
+    /// Per-row activation tracking + optional RowHammer mitigation.
+    #[serde(default)]
+    pub rowguard: RowGuardConfig,
     /// Energy model constants.
     pub energy: EnergyConfig,
     /// Request auditing and watchdog thresholds.
@@ -514,6 +546,7 @@ impl SystemConfig {
                 wake_cycles: 0,
             },
             core_prefetch: CoreSidePrefetchConfig::default(),
+            rowguard: RowGuardConfig::default(),
             prefetch: PrefetchBufferConfig {
                 entries: 16,
                 hit_latency: 22,
@@ -679,6 +712,12 @@ impl SystemConfig {
                     floor,
                 });
             }
+        }
+        if self.rowguard.enable_mitigation && self.rowguard.threshold == 0 {
+            return Err(ConfigError::Invalid {
+                field: "rowguard.threshold",
+                reason: "mitigation needs a nonzero activation threshold".into(),
+            });
         }
         if self.integrity.checkpoint_every == Some(0) {
             return Err(ConfigError::ZeroCheckpointInterval);
@@ -870,6 +909,25 @@ mod tests {
         c.faults.stall_vault_from = 1;
         assert!(c.validate().is_err());
         c.faults.stall_vault_from = 0; // inactive plan: index not checked
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rowguard_defaults_to_observation_only() {
+        let r = RowGuardConfig::default();
+        assert!(!r.enable_mitigation);
+        assert!(r.threshold > 0);
+    }
+
+    #[test]
+    fn enabled_mitigation_needs_nonzero_threshold() {
+        let mut c = SystemConfig::paper_default();
+        c.rowguard.threshold = 0;
+        // Observation-only: a zero threshold is inert and legal.
+        c.validate().unwrap();
+        c.rowguard.enable_mitigation = true;
+        assert!(c.validate().is_err());
+        c.rowguard.threshold = 32;
         c.validate().unwrap();
     }
 

@@ -3,6 +3,7 @@
 use crate::queue::{queued_same_row, Queued};
 use crate::stats::VaultStats;
 use camps_dram::bank::{AccessCategory, Bank};
+use camps_dram::rowguard::RowGuard;
 use camps_dram::timing::TimingCpu;
 use camps_dram::window::ActWindow;
 use camps_obs::{Point, TraceHandle};
@@ -102,6 +103,13 @@ pub struct VaultController {
     resp_seq: u64,
     hit_latency: Cycle,
     stats: VaultStats,
+    /// Per-row activation counters for the current refresh window
+    /// (RowHammer accounting; always on, observation-only by default).
+    rowguard: RowGuard,
+    /// TRR-style mitigation knob and threshold (derived configuration —
+    /// rebuilt by the constructor, not snapshotted).
+    mitigate: bool,
+    mitigate_threshold: u32,
     /// Observability hooks. Runtime pacing only — like `Engine`, this is
     /// deliberately excluded from [`Snapshot`] so checkpoints stay
     /// byte-identical with and without observability.
@@ -162,6 +170,9 @@ impl VaultController {
             resp_seq: 0,
             hit_latency: cfg.prefetch.hit_latency,
             stats: VaultStats::new(),
+            rowguard: RowGuard::new(),
+            mitigate: cfg.rowguard.enable_mitigation,
+            mitigate_threshold: cfg.rowguard.threshold,
             obs: TraceHandle::disabled(),
         })
     }
@@ -494,6 +505,8 @@ impl VaultController {
                     self.banks[bank_idx].activate(now, job.key.row, &self.timing);
                     self.window.record(now);
                     self.stats.energy.activates += 1;
+                    self.stats.prefetch_activations.inc();
+                    self.note_activation(job.key.bank, job.key.row, now);
                 }
                 i += 1;
                 continue;
@@ -569,6 +582,9 @@ impl VaultController {
             }
             self.stats.energy.refreshes += 1;
             self.stats.refreshes.inc();
+            // The all-bank refresh rewrote every row: the RowHammer
+            // window restarts.
+            self.rowguard.on_refresh();
             self.refresh_pending = false;
             self.next_refresh += self.timing.t_refi;
         }
@@ -583,6 +599,25 @@ impl VaultController {
     fn writeback_holds(&self, bank_idx: usize) -> bool {
         self.active_writeback
             .is_some_and(|w| usize::from(w.key.bank) == bank_idx)
+    }
+
+    /// RowHammer accounting shared by every ACT site: counts the row's
+    /// activation inside the current refresh window, tracks the worst
+    /// per-window count ever seen, and — only when the mitigation knob is
+    /// on — charges the bank a TRR neighbor-refresh penalty once the row
+    /// crosses the threshold. With mitigation off this touches nothing
+    /// but the tracker and statistics, so paper results are unchanged.
+    fn note_activation(&mut self, bank: u16, row: u32, now: Cycle) {
+        let count = self.rowguard.record(bank, row);
+        self.stats.worst_row_window_acts = self.stats.worst_row_window_acts.max(u64::from(count));
+        if self.mitigate && count >= self.mitigate_threshold {
+            self.banks[usize::from(bank)].trr_neighbor_refresh(now, &self.timing);
+            // Restart the row's count so the threshold meters mitigation
+            // intervals instead of firing on every subsequent ACT.
+            self.rowguard.reset_row(bank, row);
+            self.stats.mitigations.inc();
+            self.obs.mark("rowguard_mitigation", now);
+        }
     }
 
     /// Issues at most one DRAM command (RD/WR, ACT, or PRE) per cycle.
@@ -728,6 +763,8 @@ impl VaultController {
         };
         self.window.record(now);
         self.stats.energy.activates += 1;
+        self.stats.demand_activations.inc();
+        self.note_activation(key.bank, key.row, now);
         let queued = queued_same_row(
             &self.read_q,
             key.bank,
@@ -876,10 +913,12 @@ impl VaultController {
         let Some(job) = &mut self.active_writeback else {
             return;
         };
-        let bank_idx = usize::from(job.key.bank);
+        let key = job.key;
+        let bank_idx = usize::from(key.bank);
         let bank = &mut self.banks[bank_idx];
+        let mut activated = false;
         match bank.open_row() {
-            Some(row) if row == job.key.row => {
+            Some(row) if row == key.row => {
                 if now >= self.bus_free && bank.can_row_transfer(now) {
                     let done = bank.row_transfer_in(now, &self.timing);
                     self.bus_free = done;
@@ -892,8 +931,8 @@ impl VaultController {
                 // and when no demand wants it (demand precharges happen in
                 // the scheduler).
                 if bank.can_precharge(now) && !self.want_precharge[bank_idx] {
-                    let demand = queued_same_row(&self.read_q, job.key.bank, open, None)
-                        + queued_same_row(&self.write_q, job.key.bank, open, None);
+                    let demand = queued_same_row(&self.read_q, key.bank, open, None)
+                        + queued_same_row(&self.write_q, key.bank, open, None);
                     if demand == 0 {
                         bank.precharge(now, &self.timing);
                         self.stats.energy.precharges += 1;
@@ -903,11 +942,16 @@ impl VaultController {
             None => {
                 if !self.refresh_pending && bank.can_activate(now) && self.window.can_activate(now)
                 {
-                    bank.activate(now, job.key.row, &self.timing);
+                    bank.activate(now, key.row, &self.timing);
                     self.window.record(now);
                     self.stats.energy.activates += 1;
+                    activated = true;
                 }
             }
+        }
+        if activated {
+            self.stats.writeback_activations.inc();
+            self.note_activation(key.bank, key.row, now);
         }
     }
 }
@@ -1069,6 +1113,7 @@ impl Snapshot for VaultController {
             ("responses".into(), responses.to_value()),
             ("resp_seq".into(), self.resp_seq.to_value()),
             ("stats".into(), self.stats.to_value()),
+            ("rowguard".into(), self.rowguard.to_value()),
         ])
     }
 
@@ -1113,6 +1158,13 @@ impl Snapshot for VaultController {
         self.responses = responses.into_iter().map(Reverse).collect();
         self.resp_seq = decode(state, "resp_seq")?;
         self.stats = decode(state, "stats")?;
+        // Snapshots that predate the rowguard tracker carry no key:
+        // absence means an empty window, not corruption.
+        self.rowguard = if field(state, "rowguard").is_ok() {
+            decode(state, "rowguard")?
+        } else {
+            RowGuard::new()
+        };
         Ok(())
     }
 }
@@ -1178,6 +1230,107 @@ mod tests {
             v.tick(now, &mut out);
         }
         (out, now)
+    }
+
+    /// Serves `pattern` one request at a time so FR-FCFS cannot batch
+    /// same-row work — alternating rows force one ACT per access.
+    fn hammer(
+        v: &mut VaultController,
+        c: &SystemConfig,
+        pattern: &[(u16, u32)],
+        start: Cycle,
+    ) -> Cycle {
+        let mut now = start;
+        for (i, &(bank, row)) in pattern.iter().enumerate() {
+            let (r, d) = req_at(c, i as u64 + 1, bank, row, 0, AccessKind::Read, now);
+            assert!(v.try_enqueue(r, d, now));
+            let (out, end) = run_until(v, now, 1, 100_000);
+            assert_eq!(out.len(), 1, "request {i} never completed");
+            now = end;
+        }
+        now
+    }
+
+    #[test]
+    fn alternating_rows_count_per_row_activations() {
+        let c = cfg();
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
+        let pattern = [(0, 1), (0, 2), (0, 1), (0, 2), (0, 1), (0, 2)];
+        hammer(&mut v, &c, &pattern, 0);
+        assert_eq!(v.stats().demand_activations.get(), 6);
+        assert_eq!(v.stats().worst_row_window_acts, 3);
+        assert_eq!(
+            v.stats().mitigations.get(),
+            0,
+            "observation-only by default"
+        );
+    }
+
+    #[test]
+    fn mitigation_fires_at_threshold_and_slows_the_hammer() {
+        let pattern: Vec<(u16, u32)> = (0..16u32).map(|i| (0u16, 1 + (i % 2))).collect();
+
+        let mut on = cfg();
+        on.rowguard.enable_mitigation = true;
+        on.rowguard.threshold = 2;
+        let mut v_on = VaultController::new(0, &on, SchemeKind::Nopf).unwrap();
+        let end_on = hammer(&mut v_on, &on, &pattern, 0);
+        // 8 ACTs per row at threshold 2 → 4 mitigations per row.
+        assert_eq!(v_on.stats().mitigations.get(), 8);
+        assert_eq!(
+            v_on.stats().worst_row_window_acts,
+            2,
+            "the counter restarts at every mitigation"
+        );
+
+        let off = cfg();
+        let mut v_off = VaultController::new(0, &off, SchemeKind::Nopf).unwrap();
+        let end_off = hammer(&mut v_off, &off, &pattern, 0);
+        assert_eq!(v_off.stats().mitigations.get(), 0);
+        assert!(
+            end_on > end_off,
+            "the TRR penalty must delay the aggressor stream ({end_on} vs {end_off})"
+        );
+    }
+
+    #[test]
+    fn refresh_clears_the_rowguard_window_in_snapshots() {
+        let c = cfg();
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
+        let now = hammer(&mut v, &c, &[(0, 1), (0, 2)], 0);
+        let tracked = |v: &VaultController| {
+            let Value::Map(m) = v.save_state() else {
+                panic!("snapshot is a map")
+            };
+            let val = &m.iter().find(|(k, _)| k == "rowguard").unwrap().1;
+            RowGuard::from_value(val).unwrap().tracked_rows()
+        };
+        assert_eq!(tracked(&v), 2);
+        // Tick past the vault's refresh deadline: the all-bank refresh
+        // resets every per-row counter, but the worst-case survives.
+        let mut out = Vec::new();
+        let mut t = now;
+        while t < 2 * v.timing.t_refi {
+            t += 1;
+            v.tick(t, &mut out);
+        }
+        assert!(v.stats().refreshes.get() >= 1);
+        assert_eq!(tracked(&v), 0);
+        assert!(v.stats().worst_row_window_acts >= 1);
+    }
+
+    #[test]
+    fn restore_tolerates_snapshots_without_rowguard() {
+        let c = cfg();
+        let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
+        hammer(&mut v, &c, &[(0, 1), (0, 2)], 0);
+        let Value::Map(mut m) = v.save_state() else {
+            panic!("snapshot is a map")
+        };
+        m.retain(|(k, _)| k != "rowguard");
+        let mut fresh = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
+        fresh.restore_state(&Value::Map(m)).unwrap();
+        assert_eq!(fresh.rowguard.tracked_rows(), 0);
     }
 
     #[test]

@@ -44,6 +44,26 @@ pub struct VaultStats {
     /// fetch slots, writeback transfers) — bandwidth-utilization metric.
     #[serde(default)]
     pub bus_busy_cycles: Counter,
+    /// ACT commands issued on behalf of demand requests.
+    #[serde(default)]
+    pub demand_activations: Counter,
+    /// ACT commands issued to fetch prefetch rows into the buffer — the
+    /// activations a prefetching scheme *adds* over a no-prefetch
+    /// baseline (RowHammer amplification numerator).
+    #[serde(default)]
+    pub prefetch_activations: Counter,
+    /// ACT commands issued to write dirty prefetched rows back.
+    #[serde(default)]
+    pub writeback_activations: Counter,
+    /// Worst per-row activation count observed inside any single refresh
+    /// window (tREFI ≡ tREFW here) — the RowHammer exposure metric.
+    /// Merged across vaults by max, not sum.
+    #[serde(default)]
+    pub worst_row_window_acts: u64,
+    /// TRR-style neighbor refreshes injected by the rowguard mitigation
+    /// (always zero with mitigation off).
+    #[serde(default)]
+    pub mitigations: Counter,
     /// DRAM/prefetch energy events.
     pub energy: EnergyCounters,
 }
@@ -103,7 +123,23 @@ impl VaultStats {
         self.drain_entries.merge(other.drain_entries);
         self.refreshes.merge(other.refreshes);
         self.bus_busy_cycles.merge(other.bus_busy_cycles);
+        self.demand_activations.merge(other.demand_activations);
+        self.prefetch_activations.merge(other.prefetch_activations);
+        self.writeback_activations
+            .merge(other.writeback_activations);
+        // Worst-case exposure is a maximum across vaults: summing would
+        // overstate what any single row experienced.
+        self.worst_row_window_acts = self.worst_row_window_acts.max(other.worst_row_window_acts);
+        self.mitigations.merge(other.mitigations);
         self.energy.merge(&other.energy);
+    }
+
+    /// Total ACT commands issued, by attribution.
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.demand_activations.get()
+            + self.prefetch_activations.get()
+            + self.writeback_activations.get()
     }
 }
 
@@ -149,6 +185,23 @@ mod tests {
         assert_eq!(a.reads.get(), 5);
         assert_eq!(a.row_conflicts.get(), 1);
         assert_eq!(a.read_latency.count(), 2);
+    }
+
+    #[test]
+    fn worst_window_acts_merge_by_max_and_activations_by_sum() {
+        let mut a = VaultStats::new();
+        a.demand_activations.add(10);
+        a.prefetch_activations.add(4);
+        a.worst_row_window_acts = 7;
+        let mut b = VaultStats::new();
+        b.demand_activations.add(1);
+        b.writeback_activations.add(2);
+        b.worst_row_window_acts = 90;
+        b.mitigations.add(3);
+        a.merge(&b);
+        assert_eq!(a.total_activations(), 17);
+        assert_eq!(a.worst_row_window_acts, 90, "max, not sum");
+        assert_eq!(a.mitigations.get(), 3);
     }
 
     #[test]

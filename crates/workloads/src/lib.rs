@@ -12,11 +12,13 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod generator;
 pub mod mixes;
 pub mod profile;
 pub mod spec;
 
+pub use adversarial::{AdversarialSpec, AdversarialTrace, AttackKind, WorkloadError};
 pub use generator::SpecTrace;
 pub use mixes::{Mix, MixClass, ALL_MIXES};
 pub use profile::{BenchProfile, MemClass, PatternWeights};

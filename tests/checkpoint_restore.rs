@@ -158,6 +158,63 @@ fn snapshots_are_byte_identical_with_and_without_observability() {
     assert_eq!(a, b, "observability state leaked into the snapshot");
 }
 
+#[test]
+fn rowguard_counters_ride_in_snapshots_and_round_trip_bit_identically() {
+    use camps::recovery::{decode_snapshot, restore_run};
+    use camps_sim::camps_types::snapshot::{field, Value};
+
+    let cfg = fixture_cfg();
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let capacity = cfg
+        .hmc
+        .address_mapping()
+        .expect("valid mapping")
+        .capacity_bytes();
+    let traces = mix.build_traces(capacity, 0xFEED).expect("traces");
+    let mut sys = System::new(&cfg, SchemeKind::Camps, traces).expect("system");
+    let mut run = sys.run_begin(3_000, 2_000_000);
+    // Stop mid refresh window (tREFI is ~23k cycles): activations have
+    // happened, no refresh has cleared the trackers yet.
+    while sys.now() < 600 {
+        assert!(sys.run_step(&mut run).expect("step"), "ended too early");
+    }
+    let text = snapshot_to_string(&sys, &run, FIXTURE_MIX, 0xFEED).expect("serialize");
+    let (manifest, state) = decode_snapshot(&text).expect("decode own snapshot");
+
+    // The per-vault rowguard trackers must actually carry counters.
+    let hmc = field(
+        field(field(&state, "system").expect("system"), "mem").expect("mem"),
+        "hmc",
+    )
+    .expect("hmc");
+    let Value::Seq(vaults) = field(hmc, "vaults").expect("vaults") else {
+        panic!("vault states must serialize as a sequence");
+    };
+    let tracking = vaults
+        .iter()
+        .filter(|v| {
+            matches!(
+                field(v, "rowguard").expect("every vault snapshots its rowguard"),
+                Value::Seq(rows) if !rows.is_empty()
+            )
+        })
+        .count();
+    assert!(
+        tracking > 0,
+        "mid-window, at least one vault must have live activation counters"
+    );
+
+    // A fresh machine restored from the snapshot re-serializes to the
+    // exact same bytes — rowguard counters included.
+    let traces = mix.build_traces(capacity, 0xFEED).expect("traces");
+    let mut restored = System::new(&cfg, SchemeKind::Camps, traces).expect("system");
+    let mut restored_run = restored.run_begin(3_000, 2_000_000);
+    restore_run(&mut restored, &mut restored_run, &manifest, &state).expect("restore");
+    let again =
+        snapshot_to_string(&restored, &restored_run, FIXTURE_MIX, 0xFEED).expect("serialize");
+    assert_eq!(text, again, "rowguard state drifted through restore");
+}
+
 // ---------------------------------------------------------------------
 // Committed-fixture compatibility: a snapshot written by an earlier
 // build must keep restoring. CI runs `committed_fixture_restores…` on
