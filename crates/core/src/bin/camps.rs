@@ -8,6 +8,8 @@
 //!             [--metrics-every CYCLES] [--metrics-out FILE]
 //! camps run   --resume <FILE> [--json]   # continue a checkpointed run
 //! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
+//!             [--journal FILE] [--retries N] [--backoff-ms N] [--deadline-secs S]
+//!             [--checkpoint-every CYCLES] [--threads N] [--trace-out FILE]
 //! camps list                    # available mixes, schemes, benchmarks
 //! camps config                  # dump the Table I configuration as JSON
 //! ```
@@ -30,13 +32,27 @@
 //! stages whose name contains the substring. `--metrics-every N` samples
 //! the machine every N cycles into `--metrics-out` (CSV when the file
 //! ends in `.csv`, JSONL otherwise; defaults to `camps.metrics.jsonl`).
+//!
+//! `camps sweep` runs under the resilient supervisor
+//! ([`camps::sweep`]): `--journal` streams completed results into an
+//! append-only crash-safe JSONL file (re-invoking with the same journal
+//! skips finished jobs, so a killed sweep resumes where it stopped);
+//! `--retries`/`--backoff-ms` retry failed jobs (resuming from their
+//! last `--checkpoint-every` checkpoint) before quarantining them;
+//! `--deadline-secs` bounds each attempt's wall-clock time;
+//! `--threads` overrides the worker count (as does `RAYON_NUM_THREADS`).
+//! On sweeps, `--trace-out` writes sweep-level Perfetto instants (job
+//! completions, retries, quarantines) instead of a per-request trace.
+//! The exit code is nonzero when any job ends quarantined; partial
+//! results are still printed.
 
 use camps::experiment::{
-    resume_mix, run_matrix, run_mix_observed, run_mix_recoverable, run_mix_recoverable_observed,
+    resume_mix, run_mix_observed, run_mix_recoverable, run_mix_recoverable_observed,
     run_mix_with_engine, RunLength,
 };
 use camps::metrics::{average_speedup, speedup_table, RunResult};
 use camps::recovery::RecoveryPolicy;
+use camps::sweep::{run_sweep, SweepPolicy};
 use camps::system::Engine;
 use camps_obs::{ObsConfig, TraceHandle};
 use camps_prefetch::SchemeKind;
@@ -44,6 +60,7 @@ use camps_types::config::SystemConfig;
 use camps_workloads::{Mix, ALL_MIXES};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Parsed command-line options shared by `run` and `sweep`.
 struct Options {
@@ -58,6 +75,11 @@ struct Options {
     resume: Option<PathBuf>,
     engine: Engine,
     obs: ObsConfig,
+    journal: Option<PathBuf>,
+    retries: u32,
+    backoff_ms: u64,
+    deadline_secs: Option<f64>,
+    threads: Option<usize>,
 }
 
 fn parse_scheme(s: &str) -> Option<SchemeKind> {
@@ -85,12 +107,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         resume: None,
         engine: Engine::default(),
         obs: ObsConfig::default(),
+        journal: None,
+        retries: 0,
+        backoff_ms: 0,
+        deadline_secs: None,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
                 opts.scale = match it.next().map(String::as_str) {
+                    Some("tiny") => RunLength::tiny(),
                     Some("quick") => RunLength::quick(),
                     Some("standard") => RunLength::standard(),
                     Some("thorough") => RunLength::thorough(),
@@ -161,6 +189,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.obs.metrics_out = Some(PathBuf::from(
                     it.next().ok_or("--metrics-out needs a file")?,
                 ));
+            }
+            "--journal" => {
+                opts.journal = Some(PathBuf::from(it.next().ok_or("--journal needs a file")?));
+            }
+            "--retries" => {
+                opts.retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--retries needs a number")?;
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--backoff-ms needs milliseconds")?;
+            }
+            "--deadline-secs" => {
+                opts.deadline_secs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--deadline-secs needs seconds")?,
+                );
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads needs a count")?,
+                );
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -338,22 +395,52 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if opts.obs.wants_any() {
+            if opts.obs.trace_filter.is_some()
+                || opts.obs.metrics_every.is_some()
+                || opts.obs.metrics_out.is_some()
+            {
                 eprintln!(
-                    "camps: tracing flags apply to `camps run` (one run, one trace file), \
-                     not `camps sweep`"
+                    "camps: per-request tracing flags apply to `camps run`; \
+                     `camps sweep` supports only --trace-out (sweep-level instants)"
+                );
+                return ExitCode::FAILURE;
+            }
+            if opts.obs.trace_out.is_some() && !TraceHandle::compiled() {
+                eprintln!(
+                    "camps: this binary was built without the `obs` feature; \
+                     rebuild without `--no-default-features` to trace"
                 );
                 return ExitCode::FAILURE;
             }
             let mixes: Vec<Mix> = opts.mixes.iter().map(|m| **m).collect();
-            let results = match run_matrix(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed) {
+            let policy = SweepPolicy {
+                max_retries: opts.retries,
+                retry_backoff: Duration::from_millis(opts.backoff_ms),
+                job_deadline: opts.deadline_secs.map(Duration::from_secs_f64),
+                checkpoint_every: opts.checkpoint_every,
+                journal_path: opts.journal.clone(),
+                scratch_dir: None,
+                threads: opts.threads,
+                trace_out: opts.obs.trace_out.clone(),
+                faults: Default::default(),
+            };
+            let run = match run_sweep(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed, &policy)
+            {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("camps: sweep failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            emit(&results, opts.json)
+            eprint!("{}", run.report.render());
+            let results: Vec<RunResult> = run.results.into_iter().flatten().collect();
+            let code = emit(&results, opts.json);
+            if run.report.quarantined > 0 {
+                // Partial results were printed, but the sweep is not
+                // whole — fail the invocation for scripts and CI.
+                return ExitCode::FAILURE;
+            }
+            code
         }
         Some("list") => {
             println!("mixes (Table II):");
@@ -382,6 +469,7 @@ fn main() -> ExitCode {
                  \n  camps run HM1 campsmod --trace-out run.trace.json --metrics-every 1000\
                  \n  camps run --resume camps.ckpt.json\
                  \n  camps sweep --mixes HM1,LM1 --schemes base,campsmod\
+                 \n  camps sweep --journal sweep.jsonl --retries 2 --checkpoint-every 1000000\
                  \n  camps list | camps config"
             );
             ExitCode::FAILURE

@@ -32,6 +32,18 @@ pub struct RunLength {
 }
 
 impl RunLength {
+    /// Smoke-test scale: fractions of a second per run. Used by the
+    /// sweep kill/resume tests and the CI `sweep-smoke` job, where many
+    /// full matrices run back to back.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            warmup_instructions: 2_000,
+            instructions: 2_000,
+            max_cycles: 500_000,
+        }
+    }
+
     /// Unit/integration-test scale: seconds per run.
     #[must_use]
     pub fn quick() -> Self {
@@ -258,8 +270,10 @@ pub fn run_mix_recoverable_observed(
 /// Results come back grouped by mix, schemes in the given order.
 ///
 /// # Errors
-/// Returns the first (job-order) error among the runs; completed runs
-/// are discarded when any job fails.
+/// Returns the first (job-order) error among the runs. Implemented on
+/// the [`sweep`](crate::sweep) supervisor: every job still runs to
+/// completion under panic isolation before the error is surfaced, so a
+/// single bad job no longer aborts its in-flight siblings mid-run.
 pub fn run_matrix(
     cfg: &SystemConfig,
     mixes: &[Mix],
@@ -267,18 +281,12 @@ pub fn run_matrix(
     len: &RunLength,
     seed: u64,
 ) -> Result<Vec<RunResult>, SimError> {
-    let jobs: Vec<(usize, &Mix, SchemeKind)> = mixes
-        .iter()
-        .flat_map(|m| schemes.iter().map(move |&s| (m, s)))
-        .enumerate()
-        .map(|(i, (m, s))| (i, m, s))
-        .collect();
-    let mut results: Vec<(usize, RunResult)> = jobs
-        .into_par_iter()
-        .map(|(i, mix, scheme)| Ok((i, run_mix(cfg, mix, scheme, len, seed)?)))
-        .collect::<Result<_, SimError>>()?;
-    results.sort_by_key(|(i, _)| *i);
-    Ok(results.into_iter().map(|(_, r)| r).collect())
+    let policy = crate::sweep::SweepPolicy::default();
+    let mut run = crate::sweep::run_sweep(cfg, mixes, schemes, len, seed, &policy)?;
+    if let Some(err) = run.errors.iter_mut().find_map(Option::take) {
+        return Err(err);
+    }
+    Ok(run.results.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@
 //! * [`experiment`] — workload × scheme sweeps (rayon-parallel) and the
 //!   figure-level aggregations used to regenerate the paper's plots,
 //! * [`recovery`] — checkpoint/restore of a mid-flight run plus the
-//!   rollback-and-retry driver that survives injected faults.
+//!   rollback-and-retry driver that survives injected faults,
+//! * [`sweep`] — the resilient parallel sweep supervisor: fault-isolated
+//!   jobs, retry-with-resume, a crash-safe journal, partial results.
 //!
 //! Every entry point returns [`Result`](camps_types::SimError)-typed
 //! errors: invalid configs, malformed traces, integrity violations, and
@@ -36,6 +38,7 @@ pub mod experiment;
 pub mod hmc;
 pub mod metrics;
 pub mod recovery;
+pub mod sweep;
 pub mod system;
 
 pub use audit::RequestAuditor;
@@ -48,4 +51,5 @@ pub use metrics::{fairness, Fairness, RunResult};
 pub use recovery::{
     read_snapshot, run_with_recovery, write_snapshot, RecoveryEvent, RecoveryPolicy, RecoveryReport,
 };
+pub use sweep::{run_sweep, JobOutcome, JobRecord, SweepPolicy, SweepReport, SweepRun};
 pub use system::{Engine, System};

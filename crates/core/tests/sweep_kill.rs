@@ -1,0 +1,121 @@
+//! Process-level crash test: `kill -9` a mid-flight `camps sweep`, then
+//! re-invoke it with the same journal and prove the merged results are
+//! byte-for-byte identical to an uninterrupted sweep.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CAMPS: &str = env!("CARGO_BIN_EXE_camps");
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("camps-sweep-kill-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sweep_args(journal: &Path) -> Vec<String> {
+    [
+        "sweep",
+        "--mixes",
+        "HM1",
+        "--schemes",
+        "nopf,base,campsmod",
+        "--scale",
+        "tiny",
+        "--threads",
+        "1",
+        "--checkpoint-every",
+        "2000",
+        "--journal",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([journal.display().to_string(), "--json".to_string()])
+    .collect()
+}
+
+/// Complete (newline-terminated) journal lines — a torn tail does not
+/// count as progress.
+fn complete_lines(journal: &Path) -> usize {
+    std::fs::read_to_string(journal)
+        .map(|t| t.bytes().filter(|&b| b == b'\n').count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn killed_sweep_resumes_from_journal_bit_identically() {
+    let dir = scratch();
+
+    // Uninterrupted reference, its own journal.
+    let reference = Command::new(CAMPS)
+        .args(sweep_args(&dir.join("reference.jsonl")))
+        .output()
+        .unwrap();
+    assert!(
+        reference.status.success(),
+        "reference sweep failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Victim: same matrix, fresh journal, SIGKILL as soon as the first
+    // completed job has been journaled.
+    let journal = dir.join("victim.jsonl");
+    let mut victim = Command::new(CAMPS)
+        .args(sweep_args(&journal))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut finished_early = false;
+    loop {
+        if complete_lines(&journal) >= 1 {
+            break;
+        }
+        if victim.try_wait().unwrap().is_some() {
+            // Lost the race: the whole sweep completed before the kill.
+            // The resume checks below still hold (everything journaled).
+            finished_early = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim sweep wrote no journal line within the timeout"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if !finished_early {
+        victim.kill().unwrap(); // SIGKILL on unix — no cleanup handlers run
+    }
+    victim.wait().unwrap();
+    let journaled_at_kill = complete_lines(&journal);
+    assert!(journaled_at_kill >= 1, "journal lost its completed entries");
+
+    // Re-invoke with the same journal: completed jobs must be skipped,
+    // the rest run, and the merged matrix must match the reference
+    // byte for byte.
+    let resumed = Command::new(CAMPS)
+        .args(sweep_args(&journal))
+        .output()
+        .unwrap();
+    assert!(
+        resumed.status.success(),
+        "resumed sweep failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains(&format!("{journaled_at_kill} from journal")),
+        "resume must skip the jobs journaled before the kill; stderr:\n{stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&reference.stdout),
+        "merged results after kill + resume must be bit-identical to an \
+         uninterrupted sweep"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,317 @@
+//! Integration tests for the resilient sweep supervisor: fault
+//! isolation, deadline enforcement, retry-with-resume, journal crash
+//! tolerance, and thread-count independence.
+
+use camps::experiment::RunLength;
+use camps::metrics::RunResult;
+use camps::sweep::{
+    read_journal, run_sweep, InjectedFault, JobOutcome, SweepFaultPlan, SweepPolicy,
+};
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_workloads::Mix;
+use serde::Serialize as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SEED: u64 = 7;
+
+fn mixes() -> Vec<Mix> {
+    vec![*Mix::by_id("HM1").unwrap()]
+}
+
+fn schemes() -> Vec<SchemeKind> {
+    vec![SchemeKind::Nopf, SchemeKind::Base, SchemeKind::CampsMod]
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("camps-sweep-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fingerprint(r: &RunResult) -> String {
+    serde_json::to_string(&r.to_value()).unwrap()
+}
+
+#[test]
+fn panicking_job_quarantines_without_poisoning_siblings() {
+    let cfg = SystemConfig::paper_default();
+    let policy = SweepPolicy {
+        faults: SweepFaultPlan::new().inject(1, InjectedFault::PanicOnStart, u32::MAX),
+        ..SweepPolicy::default()
+    };
+    let run = run_sweep(
+        &cfg,
+        &mixes(),
+        &schemes(),
+        &RunLength::tiny(),
+        SEED,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(run.report.quarantined, 1);
+    assert_eq!(run.report.completed, 2, "siblings must still complete");
+    assert!(run.results[0].is_some() && run.results[2].is_some());
+    assert!(run.results[1].is_none());
+    let bad = &run.report.jobs[1];
+    assert_eq!(bad.outcome, JobOutcome::Quarantined);
+    assert_eq!(bad.panics, 1);
+    assert_eq!(bad.attempts, 1, "max_retries 0 means one attempt");
+    let msg = bad.error.as_deref().unwrap();
+    assert!(msg.contains("panicked"), "typed panic error, got: {msg}");
+    // The quarantined slot carries the typed error, not a result.
+    assert!(matches!(
+        run.errors[1],
+        Some(camps_types::error::SimError::Panic { .. })
+    ));
+    // Siblings are bit-identical to a clean sweep: the panic cost a job,
+    // never correctness.
+    let clean = run_sweep(
+        &cfg,
+        &mixes(),
+        &schemes(),
+        &RunLength::tiny(),
+        SEED,
+        &SweepPolicy::default(),
+    )
+    .unwrap();
+    for i in [0, 2] {
+        assert_eq!(
+            fingerprint(run.results[i].as_ref().unwrap()),
+            fingerprint(clean.results[i].as_ref().unwrap()),
+        );
+    }
+}
+
+#[test]
+fn deadline_overrun_quarantines_and_is_recorded() {
+    let cfg = SystemConfig::paper_default();
+    let policy = SweepPolicy {
+        // Generous limit against CI noise: healthy jobs finish a tiny
+        // run in a couple of seconds even in debug builds, while the
+        // faulted job sleeps well past the limit.
+        job_deadline: Some(Duration::from_secs(10)),
+        faults: SweepFaultPlan::new().inject(
+            0,
+            InjectedFault::SleepOnStart(Duration::from_secs(12)),
+            u32::MAX,
+        ),
+        ..SweepPolicy::default()
+    };
+    let run = run_sweep(
+        &cfg,
+        &mixes(),
+        &schemes(),
+        &RunLength::tiny(),
+        SEED,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(run.report.quarantined, 1);
+    assert_eq!(
+        run.report.completed, 2,
+        "deadline must not leak to siblings"
+    );
+    let bad = &run.report.jobs[0];
+    assert_eq!(bad.outcome, JobOutcome::Quarantined);
+    assert_eq!(bad.deadline_hits, 1);
+    assert!(matches!(
+        run.errors[0],
+        Some(camps_types::error::SimError::Deadline { .. })
+    ));
+    assert!(
+        bad.error.as_deref().unwrap().contains("deadline"),
+        "error should name the deadline: {:?}",
+        bad.error
+    );
+}
+
+#[test]
+fn retry_resumes_from_checkpoint_and_matches_clean_run() {
+    let cfg = SystemConfig::paper_default();
+    let dir = scratch("resume");
+    let one_scheme = vec![SchemeKind::Base];
+    let policy = SweepPolicy {
+        max_retries: 1,
+        checkpoint_every: Some(2_000),
+        scratch_dir: Some(dir.clone()),
+        // Panic well into the run, after several checkpoints exist; the
+        // single retry runs clean and must pick up from the last one.
+        faults: SweepFaultPlan::new().inject(0, InjectedFault::PanicAtCycle(6_000), 1),
+        ..SweepPolicy::default()
+    };
+    let run = run_sweep(
+        &cfg,
+        &mixes(),
+        &one_scheme,
+        &RunLength::tiny(),
+        SEED,
+        &policy,
+    )
+    .unwrap();
+    let rec = &run.report.jobs[0];
+    assert_eq!(rec.outcome, JobOutcome::Completed);
+    assert_eq!(rec.attempts, 2);
+    assert_eq!(rec.panics, 1);
+    assert_eq!(
+        rec.resumed_retries, 1,
+        "the retry must resume from the checkpoint, not restart: {rec:?}"
+    );
+    let clean = run_sweep(
+        &cfg,
+        &mixes(),
+        &one_scheme,
+        &RunLength::tiny(),
+        SEED,
+        &SweepPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        fingerprint(run.results[0].as_ref().unwrap()),
+        fingerprint(clean.results[0].as_ref().unwrap()),
+        "resume-from-checkpoint must be bit-identical to the straight run"
+    );
+    // The successful job cleans its checkpoint up.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "stale checkpoints left: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_resume_skips_completed_jobs_and_tolerates_a_torn_tail() {
+    let cfg = SystemConfig::paper_default();
+    let dir = scratch("journal");
+    let journal = dir.join("sweep.jsonl");
+    let policy = SweepPolicy {
+        journal_path: Some(journal.clone()),
+        ..SweepPolicy::default()
+    };
+    let first = run_sweep(
+        &cfg,
+        &mixes(),
+        &schemes(),
+        &RunLength::tiny(),
+        SEED,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(first.report.completed, 3);
+    let (entries, rec) = read_journal(&journal).unwrap();
+    assert_eq!(entries.len(), 3);
+    assert_eq!(rec.discarded_lines, 0);
+
+    // Simulate a crash mid-append: a torn fragment of a journal line
+    // with no trailing newline, exactly what `kill -9` leaves behind.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let torn = &text.lines().next().unwrap()[..40];
+    std::fs::write(&journal, format!("{text}{torn}")).unwrap();
+
+    let second = run_sweep(
+        &cfg,
+        &mixes(),
+        &schemes(),
+        &RunLength::tiny(),
+        SEED,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(
+        second.report.journaled, 3,
+        "all three jobs must come back from the journal without rerunning"
+    );
+    assert_eq!(second.report.completed, 0);
+    assert_eq!(second.report.journal_lines_discarded, 1);
+    for (a, b) in first.results.iter().zip(&second.results) {
+        assert_eq!(
+            fingerprint(a.as_ref().unwrap()),
+            fingerprint(b.as_ref().unwrap()),
+            "journaled results must round-trip bit-identically"
+        );
+    }
+    // The compaction rewrote the file: the torn fragment is gone and a
+    // third load is clean.
+    let (entries, rec) = read_journal(&journal).unwrap();
+    assert_eq!(entries.len(), 3);
+    assert_eq!(rec.discarded_lines, 0, "torn tail must be compacted away");
+
+    // A different run length must not reuse the journal entries.
+    let longer = RunLength {
+        warmup_instructions: 2_000,
+        instructions: 4_000,
+        max_cycles: 1_000_000,
+    };
+    let other = run_sweep(&cfg, &mixes(), &schemes(), &longer, SEED, &policy).unwrap();
+    assert_eq!(
+        other.report.journaled, 0,
+        "a different run length must invalidate journal reuse"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_results_are_independent_of_thread_count() {
+    let cfg = SystemConfig::paper_default();
+    let len = RunLength::tiny();
+    let two_schemes = vec![SchemeKind::Nopf, SchemeKind::CampsMod];
+    let run_with = |threads: usize| {
+        let policy = SweepPolicy {
+            threads: Some(threads),
+            ..SweepPolicy::default()
+        };
+        run_sweep(&cfg, &mixes(), &two_schemes, &len, SEED, &policy).unwrap()
+    };
+    let one = run_with(1);
+    let four = run_with(4);
+    assert_eq!(one.results.len(), four.results.len());
+    for (a, b) in one.results.iter().zip(&four.results) {
+        assert_eq!(
+            fingerprint(a.as_ref().unwrap()),
+            fingerprint(b.as_ref().unwrap()),
+            "results must not depend on worker thread count"
+        );
+    }
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn sweep_trace_records_job_and_retry_instants() {
+    let cfg = SystemConfig::paper_default();
+    let dir = scratch("trace");
+    let trace = dir.join("sweep.trace.json");
+    let policy = SweepPolicy {
+        max_retries: 1,
+        trace_out: Some(trace.clone()),
+        faults: SweepFaultPlan::new().inject(0, InjectedFault::PanicOnStart, 1),
+        ..SweepPolicy::default()
+    };
+    let one_scheme = vec![SchemeKind::Nopf];
+    let run = run_sweep(
+        &cfg,
+        &mixes(),
+        &one_scheme,
+        &RunLength::tiny(),
+        SEED,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(run.report.completed, 1);
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        text.contains("sweep_retry:HM1/NOPF#7"),
+        "retry instant missing from trace"
+    );
+    assert!(
+        text.contains("sweep_job_done:HM1/NOPF#7"),
+        "completion instant missing from trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

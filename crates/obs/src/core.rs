@@ -37,7 +37,7 @@ struct Pending {
 /// One record in the bounded trace ring. Spans are stored whole (one
 /// record per stage) so ring eviction can never orphan half of an
 /// async begin/end pair.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum TraceRecord {
     /// A request spent `[start, end]` in `stage`.
     Span {
@@ -61,6 +61,9 @@ enum TraceRecord {
     },
     /// An instantaneous event (watchdog trip, injected fault).
     Mark { name: &'static str, at: Cycle },
+    /// An instantaneous event with a runtime-built name (sweep-level
+    /// retry/quarantine markers carrying the job's identity).
+    Instant { name: String, at: Cycle },
     /// A recovery-track interval (checkpoint, rollback replay).
     Window {
         name: &'static str,
@@ -120,7 +123,9 @@ impl ObsCore {
                 TraceRecord::Span { stage, .. } => stage.name(),
                 TraceRecord::Fetch { .. } => "row_fetch",
                 // Rare, load-bearing events always survive the filter.
-                TraceRecord::Mark { .. } | TraceRecord::Window { .. } => "",
+                TraceRecord::Mark { .. }
+                | TraceRecord::Instant { .. }
+                | TraceRecord::Window { .. } => "",
             };
             if !name.is_empty() && !name.contains(f.as_str()) {
                 return;
@@ -249,6 +254,10 @@ impl ObsCore {
         self.push(TraceRecord::Mark { name, at });
     }
 
+    pub(crate) fn instant(&mut self, name: String, at: Cycle) {
+        self.push(TraceRecord::Instant { name, at });
+    }
+
     pub(crate) fn window(&mut self, name: &'static str, start: Cycle, end: Cycle) {
         self.push(TraceRecord::Window { name, start, end });
     }
@@ -358,6 +367,13 @@ impl ObsCore {
                     );
                 }
                 TraceRecord::Mark { name, at } => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"{name}\",\
+                         \"pid\":1,\"tid\":0,\"ts\":{at}}}"
+                    );
+                }
+                TraceRecord::Instant { name, at } => {
                     let _ = write!(
                         out,
                         ",\n{{\"ph\":\"i\",\"s\":\"g\",\"name\":\"{name}\",\

@@ -207,6 +207,16 @@ impl TraceHandle {
         self.with(|c| c.mark(name, at));
     }
 
+    /// Records an instantaneous event with a runtime-built name — the
+    /// sweep supervisor stamps retry/quarantine markers carrying the
+    /// job's identity (`sweep_retry:HM1/CampsMod#7`). `at` is whatever
+    /// timebase the caller renders in (the sweep uses microseconds of
+    /// wall clock since sweep start).
+    #[inline]
+    pub fn instant(&self, name: String, at: Cycle) {
+        self.with(|c| c.instant(name, at));
+    }
+
     /// Records a cycle interval on the recovery track (checkpoint write,
     /// rollback replay window).
     #[inline]
@@ -341,6 +351,10 @@ impl TraceHandle {
     /// No-op.
     #[inline]
     pub fn mark(&self, _name: &'static str, _at: Cycle) {}
+
+    /// No-op.
+    #[inline]
+    pub fn instant(&self, _name: String, _at: Cycle) {}
 
     /// No-op.
     #[inline]

@@ -344,6 +344,24 @@ pub enum SimError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A sweep job panicked. The sweep supervisor catches the unwind at
+    /// the job boundary so one crashing job cannot tear down its
+    /// siblings; the payload is preserved here for the job's record.
+    Panic {
+        /// The panic payload, rendered (`&str`/`String` payloads pass
+        /// through; anything else becomes a placeholder).
+        message: String,
+    },
+    /// A sweep job blew through its wall-clock deadline. Unlike the
+    /// cycle-domain watchdog (which catches a *wedged* machine), this
+    /// catches a *slow* one: livelock, pathological configs, or a host
+    /// that is simply overloaded.
+    Deadline {
+        /// Wall-clock seconds the attempt had run for when it was cut.
+        elapsed_secs: f64,
+        /// The configured per-attempt limit, seconds.
+        limit_secs: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -356,6 +374,15 @@ impl fmt::Display for SimError {
             Self::Integrity(e) => write!(f, "integrity violation: {e}"),
             Self::Watchdog(report) => write!(f, "{report}"),
             Self::Snapshot { reason } => write!(f, "snapshot error: {reason}"),
+            Self::Panic { message } => write!(f, "job panicked: {message}"),
+            Self::Deadline {
+                elapsed_secs,
+                limit_secs,
+            } => write!(
+                f,
+                "job exceeded its wall-clock deadline ({elapsed_secs:.1}s elapsed, \
+                 limit {limit_secs:.1}s)"
+            ),
         }
     }
 }
@@ -367,7 +394,11 @@ impl std::error::Error for SimError {
             Self::Trace(e) => Some(e),
             Self::Io { source, .. } => Some(source),
             Self::Integrity(e) => Some(e),
-            Self::Setup { .. } | Self::Watchdog(_) | Self::Snapshot { .. } => None,
+            Self::Setup { .. }
+            | Self::Watchdog(_)
+            | Self::Snapshot { .. }
+            | Self::Panic { .. }
+            | Self::Deadline { .. } => None,
         }
     }
 }

@@ -1,46 +1,520 @@
-//! Vendored, offline **sequential** fallback for the `rayon` API surface
-//! this workspace uses (`par_iter`/`into_par_iter`).
+//! Vendored, offline **multi-threaded** implementation of the `rayon`
+//! API surface this workspace uses (`par_iter`/`into_par_iter`, `map`,
+//! `collect`, `ThreadPoolBuilder::install`).
 //!
-//! The build environment has no registry access, so experiment sweeps run
-//! on one core here: `into_par_iter()`/`par_iter()` simply return the
-//! standard sequential iterators, which expose the same adapter methods
-//! (`map`, `collect`, …) the callers rely on. Results are identical to a
-//! parallel run — sweeps are embarrassingly parallel and order is
-//! restored by the callers — only wall-clock time differs.
+//! The build environment has no registry access, so this crate stands in
+//! for the real rayon. Unlike the original sequential stub it actually
+//! fans work out over `std::thread` workers:
+//!
+//! * Items are frozen into an indexed vector and workers claim the next
+//!   unclaimed index through a shared atomic cursor — dynamic load
+//!   balancing (a degenerate work-stealing scheme whose only deque is
+//!   the shared injector), so a slow item never idles the other workers.
+//! * Results land in per-index slots, so the collected output order is
+//!   **always the input order**, independent of the number of workers or
+//!   the interleaving of their claims. Callers get determinism for free.
+//! * A worker panic is caught, parked in the item's slot, and re-raised
+//!   on the calling thread (first panicking index wins) once every other
+//!   item has finished — one bad item cannot tear down its siblings
+//!   mid-flight.
+//!
+//! Thread count: `ThreadPoolBuilder::new().num_threads(n)` >
+//! `RAYON_NUM_THREADS` (environment) > `available_parallelism()`.
 
-pub mod prelude {
-    //! Drop-in traits mirroring `rayon::prelude`.
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-    /// `into_par_iter()` for owned collections (sequential fallback).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the standard sequential iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`] for the
+    /// duration of the installed closure (affects this thread only).
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parses a `RAYON_NUM_THREADS`-style value: a positive integer wins,
+/// anything else (empty, `0`, garbage) is ignored.
+fn parse_thread_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The number of worker threads a parallel operation started *now* would
+/// use: a [`ThreadPool::install`] override, else `RAYON_NUM_THREADS`,
+/// else the machine's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_thread_override)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring rayon's builder API; this vendored pool cannot
+/// actually fail to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("vendored rayon thread pool failed to build (unreachable)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "decide automatically" (the
+    /// environment override or available parallelism), matching rayon.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` mirrors rayon.
+    ///
+    /// # Errors
+    /// Never fails in this vendored implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle carrying a thread-count choice. Workers are spawned per
+/// operation (scoped threads), not parked persistently — adequate for
+/// coarse-grained simulation jobs where spawn cost is noise.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count parallel operations inside [`install`] will use.
+    ///
+    /// [`install`]: ThreadPool::install
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
         }
     }
 
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    /// Runs `op` with this pool's thread count installed: parallel
+    /// iterators invoked inside (from this thread) use it instead of the
+    /// environment/default choice.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let n = self.current_num_threads();
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(n)));
+        // Restore on unwind too, so a panicking op cannot leak the
+        // override into unrelated later work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
 
-    /// `par_iter()` for borrowed collections (sequential fallback).
+/// Applies `f` to every item on the current pool, returning results in
+/// input order. Worker panics are re-raised on the caller (first index
+/// wins) after all other items have completed.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            let out = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every slot is filled before the scope ends");
+            match out {
+                Ok(r) => r,
+                Err(payload) => resume_unwind(payload),
+            }
+        })
+        .collect()
+}
+
+pub mod iter {
+    //! Parallel-iterator types: [`ParIter`] (the source), [`Map`] (the
+    //! only adapter this workspace needs), and the conversion traits.
+
+    use super::par_apply;
+
+    /// A frozen, indexed parallel iterator over owned items.
+    #[derive(Debug)]
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// The `map` adapter over a parallel iterator.
+    #[derive(Debug)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    /// Operations on a parallel iterator. `run` materializes the items
+    /// in input order, executing adapter stages on the current pool.
+    pub trait ParallelIterator: Sized + Send {
+        /// The yielded item type.
+        type Item: Send;
+
+        /// Executes the pipeline and returns items in input order
+        /// (implementation detail of this vendored crate; real rayon
+        /// drives consumers instead).
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Applies `f` to every item in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collects into `C`, preserving input order regardless of the
+        /// worker count or scheduling.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn run(self) -> Vec<R> {
+            par_apply(self.base.run(), self.f)
+        }
+    }
+
+    /// Collections buildable from an ordered parallel iterator.
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Builds `Self` from the iterator's ordered items.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+            iter.run()
+        }
+    }
+
+    /// Collecting `Result` items runs **every** item to completion (they
+    /// may have side effects worth keeping), then yields `Ok(all)` or
+    /// the first error in input order — deterministic regardless of
+    /// which worker failed first in wall-clock terms.
+    impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+            iter.run().into_iter().collect()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// The yielded item type.
+        type Item: Send;
+
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = ParIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for ParIter<T> {
+        type Iter = Self;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self {
+            self
+        }
+    }
+
+    /// `par_iter()` for borrowed collections.
     pub trait IntoParallelRefIterator<'data> {
-        /// The sequential iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Yielded item type.
-        type Item;
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// The yielded item type (a shared reference).
+        type Item: Send + 'data;
 
-        /// Returns the standard sequential iterator.
+        /// Borrows into a parallel iterator.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        type Item = <&'data I as IntoIterator>::Item;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = ParIter<&'data T>;
+        type Item = &'data T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = ParIter<&'data T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            self.as_slice().par_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in traits mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{parse_thread_override, ThreadPool, ThreadPoolBuilder};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    /// The determinism contract of the sweep supervisor: the collected
+    /// order is the input order for every thread count, even when item
+    /// runtimes are adversarially skewed so claims interleave
+    /// differently on every run.
+    #[test]
+    fn result_order_is_independent_of_thread_count() {
+        let input: Vec<u64> = (0..97).collect();
+        let run = |threads: usize| {
+            pool(threads).install(|| {
+                input
+                    .clone()
+                    .into_par_iter()
+                    .map(|i| {
+                        // Early items sleep longest: with >1 worker the
+                        // completion order inverts the input order.
+                        std::thread::sleep(Duration::from_micros((97 - i) * 20));
+                        i * 1_000_003
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(5));
+        assert_eq!(sequential, run(16));
+        assert_eq!(
+            sequential,
+            (0..97).map(|i| i * 1_000_003).collect::<Vec<u64>>()
+        );
+    }
+
+    /// Work actually fans out over multiple OS threads.
+    #[test]
+    fn work_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        pool(4).install(|| {
+            (0..64u64)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(Duration::from_millis(2));
+                })
+                .collect::<Vec<_>>()
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "4-thread pool used a single thread"
+        );
+    }
+
+    /// A panicking item must not prevent its siblings from completing,
+    /// and the panic resurfaces on the caller.
+    #[test]
+    fn panic_is_isolated_then_propagated() {
+        let completed = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool(3).install(|| {
+                (0..24u32)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 5 {
+                            panic!("injected");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                    .collect::<Vec<u32>>()
+            })
+        }));
+        assert!(outcome.is_err(), "the item panic must propagate");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            23,
+            "all sibling items still ran to completion"
+        );
+    }
+
+    /// `collect::<Result<…>>` returns the first error in *input* order,
+    /// not wall-clock order, and still runs every item.
+    #[test]
+    fn result_collect_reports_first_error_in_input_order() {
+        let ran = AtomicUsize::new(0);
+        let out: Result<Vec<u32>, String> = pool(4).install(|| {
+            (0..32u32)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i == 30 {
+                        // Fails instantly …
+                        return Err(format!("late-index error {i}"));
+                    }
+                    if i == 7 {
+                        // … while the earlier-index failure takes longer.
+                        std::thread::sleep(Duration::from_millis(20));
+                        return Err(format!("early-index error {i}"));
+                    }
+                    Ok(i)
+                })
+                .collect()
+        });
+        assert_eq!(out.unwrap_err(), "early-index error 7");
+        assert_eq!(ran.load(Ordering::Relaxed), 32, "every item still ran");
+    }
+
+    /// `par_iter` borrows; results keep slice order.
+    #[test]
+    fn par_iter_borrows_in_order() {
+        let words = ["alpha", "beta", "gamma", "delta"];
+        let out: Vec<usize> = pool(3).install(|| words.par_iter().map(|w| w.len()).collect());
+        assert_eq!(out, vec![5, 4, 5, 5]);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 12 "), Some(12));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("many"), None);
+    }
+
+    /// `install` restores the previous override even when the closure
+    /// panics.
+    #[test]
+    fn install_restores_override_on_unwind() {
+        let p1 = pool(1);
+        p1.install(|| {
+            assert_eq!(super::current_num_threads(), 1);
+            let _ = std::panic::catch_unwind(|| pool(7).install(|| panic!("boom")));
+            assert_eq!(
+                super::current_num_threads(),
+                1,
+                "unwound install leaked its override"
+            );
+        });
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let out: Vec<u32> = pool(8).install(|| {
+            Vec::<u32>::new()
+                .into_par_iter()
+                .map(|x| x + 1)
+                .collect::<Vec<u32>>()
+        });
+        assert!(out.is_empty());
     }
 }
