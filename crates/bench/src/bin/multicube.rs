@@ -1,0 +1,172 @@
+//! `multicube` — the paper's scheme matrix rerun at 1, 2, and 4 cubes.
+//!
+//! The CAMPS evaluation is single-cube; the HMC scaling story is cube
+//! chaining. This bench answers the ROADMAP's pooled-memory question
+//! empirically: it reruns the paper mixes under every scheme on chained
+//! pools of 1, 2, and 4 cubes and reports how each scheme's speedup
+//! over NOPF decays as requests pick up inter-cube hops.
+//!
+//! The measurements land in `BENCH_multicube.json`: per cube count, one
+//! entry per scheme with its geomean IPC across the mixes and its
+//! speedup over same-pool NOPF (speedups compare like with like — a
+//! 4-cube CAMPS run is normalized to 4-cube NOPF, so the column isolates
+//! the *prefetcher's* contribution from the fabric's added latency).
+//!
+//! ```text
+//! cargo run --release -p camps-bench --bin multicube [-- --out FILE]
+//! cargo run --release -p camps-bench --bin multicube -- --check ci/perf_baseline.json
+//! ```
+//!
+//! `--check` gates total wall time against the `multicube_ceiling` entry
+//! of the committed baseline (a runaway guard, not a perf benchmark).
+
+use camps::experiment::{run_matrix, RunLength};
+use camps::metrics::RunResult;
+use camps_prefetch::SchemeKind;
+use camps_types::config::SystemConfig;
+use camps_workloads::Mix;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Workload seed for every run (fixed: rows are cross-comparable).
+const SEED: u64 = 0xC0BE5;
+
+/// Cube counts the matrix sweeps over.
+const CUBE_COUNTS: [u32; 3] = [1, 2, 4];
+
+fn mixes() -> Vec<Mix> {
+    // One high-intensity and one low-intensity Table II mix: enough to
+    // expose the fabric's effect on both traffic classes while keeping
+    // the 3 × 6-scheme matrix affordable in CI.
+    vec![*Mix::by_id("HM1").unwrap(), *Mix::by_id("LM1").unwrap()]
+}
+
+/// Geomean IPC across a scheme's per-mix results.
+fn scheme_geomean(results: &[RunResult], scheme: SchemeKind) -> f64 {
+    let ipcs: Vec<f64> = results
+        .iter()
+        .filter(|r| r.scheme == scheme)
+        .map(RunResult::geomean_ipc)
+        .collect();
+    assert!(!ipcs.is_empty(), "no results for {}", scheme.name());
+    let log_sum: f64 = ipcs.iter().map(|i| i.ln()).sum();
+    (log_sum / ipcs.len() as f64).exp()
+}
+
+fn run() -> Result<String, String> {
+    let mixes = mixes();
+    let len = RunLength::tiny();
+    let mut body = String::from("{\n  \"benchmark\": \"multicube-scaling\",\n  \"pools\": [\n");
+    for (i, &cubes) in CUBE_COUNTS.iter().enumerate() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.topology.cubes = cubes;
+        let t0 = Instant::now();
+        let results = run_matrix(&cfg, &mixes, &SchemeKind::ALL, &len, SEED)
+            .map_err(|e| format!("{cubes}-cube matrix failed: {e}"))?;
+        let wall = t0.elapsed().as_secs_f64();
+        let nopf = scheme_geomean(&results, SchemeKind::Nopf);
+        let _ = write!(
+            body,
+            "    {{\"cubes\": {cubes}, \"topology\": \"chain\", \"wall_secs\": {wall:.3}, \
+             \"schemes\": ["
+        );
+        for (j, &scheme) in SchemeKind::ALL.iter().enumerate() {
+            let ipc = scheme_geomean(&results, scheme);
+            let _ = write!(
+                body,
+                "{}\n      {{\"scheme\": \"{}\", \"geomean_ipc\": {ipc:.4}, \
+                 \"speedup_vs_nopf\": {:.4}}}",
+                if j == 0 { "" } else { "," },
+                scheme.name(),
+                ipc / nopf,
+            );
+            println!(
+                "{cubes} cube(s) | {:>9} | geomean IPC {ipc:.4} | vs NOPF {:.3}",
+                scheme.name(),
+                ipc / nopf
+            );
+        }
+        let _ = write!(
+            body,
+            "\n    ]}}{}\n",
+            if i + 1 == CUBE_COUNTS.len() { "" } else { "," }
+        );
+    }
+    body.push_str("  ]\n}\n");
+    Ok(body)
+}
+
+/// Pulls `"multicube_ceiling": <secs>` out of the baseline file
+/// (textual; the format is ours).
+fn baseline_ceiling(text: &str) -> Option<f64> {
+    let needle = "\"multicube_ceiling\": ";
+    let at = text.find(needle)? + needle.len();
+    let rest = &text[at..];
+    let end = rest.find(['}', ','])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_multicube.json");
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => {
+                    eprintln!("--check needs a baseline file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}` (try --out FILE | --check FILE)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let rendered = match run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("multicube: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("multicube: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("multicube: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(ceiling) = baseline_ceiling(&text) else {
+            eprintln!("multicube: baseline {path} has no multicube_ceiling entry");
+            return ExitCode::FAILURE;
+        };
+        let total = started.elapsed().as_secs_f64();
+        if total > ceiling {
+            eprintln!("multicube: wall time {total:.1}s exceeds the {ceiling:.0}s ceiling");
+            return ExitCode::FAILURE;
+        }
+        println!("check: {total:.1}s within the {ceiling:.0}s ceiling");
+    }
+    ExitCode::SUCCESS
+}

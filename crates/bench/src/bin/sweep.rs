@@ -32,7 +32,7 @@ use camps::experiment::RunLength;
 use camps::metrics::RunResult;
 use camps::sweep::{run_sweep, InjectedFault, JobOutcome, SweepFaultPlan, SweepPolicy, SweepRun};
 use camps_prefetch::SchemeKind;
-use camps_types::config::SystemConfig;
+use camps_types::config::{SystemConfig, TopologyKind};
 use camps_workloads::Mix;
 use serde::Serialize as _;
 use std::process::ExitCode;
@@ -79,8 +79,10 @@ fn assert_results_match(
     Ok(())
 }
 
-fn run() -> Result<String, String> {
-    let cfg = SystemConfig::paper_default();
+fn run(cubes: u32, kind: TopologyKind) -> Result<String, String> {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.topology.cubes = cubes;
+    cfg.topology.kind = kind;
     let len = RunLength::tiny();
     let mixes = mixes();
     let schemes = schemes();
@@ -192,10 +194,12 @@ fn run() -> Result<String, String> {
 
     Ok(format!(
         "{{\n  \"benchmark\": \"sweep-supervisor\",\n  \"jobs\": {n_jobs},\n  \
+         \"cubes\": {cubes},\n  \"topology\": \"{}\",\n  \
          \"threads\": {},\n  \"reference_secs\": {reference_secs:.3},\n  \
          \"fault_drill_secs\": {drill_secs:.3},\n  \"resume_secs\": {resume_secs:.3},\n  \
          \"drill_retries\": {},\n  \"drill_quarantined\": {},\n  \
          \"resume_journaled\": {},\n  \"bit_identical\": true\n}}\n",
+        kind.name(),
         drill.report.threads,
         drill.report.total_retries,
         drill.report.quarantined,
@@ -217,6 +221,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_sweep.json");
     let mut check_path: Option<String> = None;
+    let mut cubes = 1u32;
+    let mut kind = TopologyKind::Chain;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -234,15 +240,32 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--cubes" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cubes = n,
+                None => {
+                    eprintln!("--cubes needs a power-of-two count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--topology" => match it.next().and_then(|k| k.parse().ok()) {
+                Some(k) => kind = k,
+                None => {
+                    eprintln!("--topology needs `chain` or `star`");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("unknown option `{other}` (try --out FILE | --check FILE)");
+                eprintln!(
+                    "unknown option `{other}` \
+                     (try --out FILE | --check FILE | --cubes N | --topology chain|star)"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
 
     let started = Instant::now();
-    let rendered = match run() {
+    let rendered = match run(cubes, kind) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep: {e}");

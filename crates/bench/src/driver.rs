@@ -1,10 +1,11 @@
 //! Experiment driving, result caching, and CSV output.
 
-use camps::experiment::{run_matrix, RunLength};
+use camps::experiment::RunLength;
 use camps::metrics::RunResult;
+use camps::sweep::{run_sweep, SweepPolicy, SweepRun};
 use camps_prefetch::SchemeKind;
 use camps_types::config::SystemConfig;
-use camps_workloads::ALL_MIXES;
+use camps_workloads::{Mix, ALL_MIXES};
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -20,14 +21,6 @@ pub fn bench_length() -> RunLength {
         Ok("standard") => RunLength::standard(),
         Ok("thorough") => RunLength::thorough(),
         _ => RunLength::quick(),
-    }
-}
-
-fn scale_name() -> &'static str {
-    match std::env::var("CAMPS_BENCH_SCALE").as_deref() {
-        Ok("standard") => "standard",
-        Ok("thorough") => "thorough",
-        _ => "quick",
     }
 }
 
@@ -50,37 +43,70 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// The shared journal every bench matrix rides on. Results are keyed by
+/// (config hash, mix, scheme, seed, run length), so figure runs,
+/// ablation variants, and different `CAMPS_BENCH_SCALE`s all coexist in
+/// one append-only file without ever reusing the wrong result.
+/// `CAMPS_BENCH_FRESH=1` deletes it before running.
+#[must_use]
+pub fn bench_journal() -> PathBuf {
+    let path = experiments_dir().join("bench.journal.jsonl");
+    if std::env::var("CAMPS_BENCH_FRESH").is_ok() {
+        fs::remove_file(&path).ok();
+    }
+    path
+}
+
+/// Runs a `mixes × schemes` matrix under the resilient sweep supervisor
+/// against the shared bench journal: already-journaled jobs are reused
+/// per-job (not all-or-nothing), fresh jobs get fault isolation and
+/// retry-with-resume. Panics if any job is quarantined — bench code
+/// fails loudly.
+fn journaled_matrix(
+    cfg: &SystemConfig,
+    mixes: &[Mix],
+    schemes: &[SchemeKind],
+    label: &str,
+) -> Vec<RunResult> {
+    let policy = SweepPolicy {
+        journal_path: Some(bench_journal()),
+        checkpoint_every: Some(2_000_000),
+        max_retries: 1,
+        ..SweepPolicy::default()
+    };
+    let SweepRun {
+        results,
+        errors,
+        report,
+    } = run_sweep(cfg, mixes, schemes, &bench_length(), FIGURE_SEED, &policy)
+        .unwrap_or_else(|e| panic!("{label} sweep infrastructure: {e}"));
+    if let Some(err) = errors.into_iter().flatten().next() {
+        panic!("{label} job quarantined (bench-only: fail loudly): {err}");
+    }
+    let reused = report
+        .jobs
+        .iter()
+        .filter(|j| j.outcome == camps::sweep::JobOutcome::Journaled)
+        .count();
+    eprintln!(
+        "[journal] {label}: {} jobs ({reused} from journal) via {}",
+        report.jobs.len(),
+        bench_journal().display()
+    );
+    results.into_iter().flatten().collect()
+}
+
 /// Runs all twelve Table II mixes under every paper scheme (plus NOPF) on
 /// the Table I system at the configured scale.
 ///
-/// Figures 5–9 all consume this one matrix, so the result is cached in
-/// `target/experiments/matrix-<scale>.json`; delete the file (or set
-/// `CAMPS_BENCH_FRESH=1`) to force a re-run.
+/// Figures 5–9 all consume this one matrix; completed (mix, scheme)
+/// cells are reused from the shared [`bench_journal`], so a re-run after
+/// an interruption only pays for the missing cells. Set
+/// `CAMPS_BENCH_FRESH=1` to discard the journal and re-run everything.
 #[must_use]
 pub fn figure_results() -> Vec<RunResult> {
-    let cache = experiments_dir().join(format!("matrix-{}.json", scale_name()));
-    let fresh = std::env::var("CAMPS_BENCH_FRESH").is_ok();
-    if !fresh {
-        if let Ok(body) = fs::read_to_string(&cache) {
-            if let Ok(results) = serde_json::from_str::<Vec<RunResult>>(&body) {
-                eprintln!("[cache] reusing {}", cache.display());
-                return results;
-            }
-        }
-    }
     let cfg = SystemConfig::paper_default();
-    let results = run_matrix(
-        &cfg,
-        &ALL_MIXES,
-        &SchemeKind::ALL,
-        &bench_length(),
-        FIGURE_SEED,
-    )
-    .expect("figure matrix run (bench-only: fail loudly)");
-    let body = serde_json::to_string(&results).expect("serialize results");
-    fs::write(&cache, body).expect("write result cache");
-    eprintln!("[cache] wrote {}", cache.display());
-    results
+    journaled_matrix(&cfg, &ALL_MIXES, &SchemeKind::ALL, "figures")
 }
 
 /// Writes rows as CSV to `target/experiments/<name>.csv` and returns the
@@ -103,26 +129,26 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 /// Ablation helper: runs `scheme` on the given mixes under each labeled
 /// configuration variant and returns one geomean-IPC row per variant
 /// (columns = mixes, in order).
+///
+/// Each variant's cells ride the shared [`bench_journal`] — the journal
+/// key includes the config hash, so variants never cross-pollinate, and
+/// an interrupted ablation resumes at the first un-journaled cell. Jobs
+/// within a variant run in parallel under the sweep supervisor.
 #[must_use]
 pub fn ablation_sweep(
     variants: &[(String, SystemConfig, SchemeKind)],
     mix_ids: &[&str],
 ) -> Vec<(String, Vec<f64>)> {
-    use camps_workloads::Mix;
-    use rayon::prelude::*;
-    let len = bench_length();
+    let mixes: Vec<Mix> = mix_ids
+        .iter()
+        .map(|id| *Mix::by_id(id).expect("known mix"))
+        .collect();
     variants
-        .par_iter()
+        .iter()
         .map(|(label, cfg, scheme)| {
-            let ipcs: Vec<f64> = mix_ids
-                .iter()
-                .map(|id| {
-                    let mix = Mix::by_id(id).expect("known mix");
-                    camps::experiment::run_mix(cfg, mix, *scheme, &len, FIGURE_SEED)
-                        .expect("ablation run (bench-only: fail loudly)")
-                        .geomean_ipc()
-                })
-                .collect();
+            let results = journaled_matrix(cfg, &mixes, &[*scheme], label);
+            let ipcs: Vec<f64> = results.iter().map(RunResult::geomean_ipc).collect();
+            assert_eq!(ipcs.len(), mix_ids.len(), "one cell per mix");
             (label.clone(), ipcs)
         })
         .collect()

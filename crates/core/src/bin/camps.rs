@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! camps run   <MIX> <SCHEME> [--scale quick|standard|thorough] [--seed N] [--json]
-//!             [--engine polling|event]
+//!             [--engine polling|event] [--cubes N] [--topology chain|star]
 //!             [--checkpoint-every CYCLES] [--checkpoint-path FILE] [--max-recoveries N]
 //!             [--trace-out FILE] [--trace-filter SUBSTR]
 //!             [--metrics-every CYCLES] [--metrics-out FILE]
 //! camps run   --resume <FILE> [--json]   # continue a checkpointed run
 //! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
+//!             [--cubes N] [--topology chain|star]
 //!             [--journal FILE] [--retries N] [--backoff-ms N] [--deadline-secs S]
 //!             [--checkpoint-every CYCLES] [--threads N] [--trace-out FILE]
 //! camps list                    # available mixes, schemes, benchmarks
@@ -17,6 +18,13 @@
 //! `--engine` selects the stepping strategy (default `event`). Both
 //! engines produce bit-identical results; `polling` ticks every cycle
 //! and is kept as the slow reference path.
+//!
+//! `--cubes` sizes the memory pool (power of two; default 1, the
+//! paper's single-cube machine) and `--topology` picks how the cubes
+//! are wired (`chain` daisy-chains them off the host, `star` hangs
+//! every cube one hop off host-attached cube 0). With one cube both
+//! flags are inert and the machine is bit-identical to the
+//! pre-topology engine.
 //!
 //! The JSON output is the serialized [`camps::metrics::RunResult`] —
 //! machine-consumable for plotting pipelines.
@@ -56,7 +64,7 @@ use camps::sweep::{run_sweep, SweepPolicy};
 use camps::system::Engine;
 use camps_obs::{ObsConfig, TraceHandle};
 use camps_prefetch::SchemeKind;
-use camps_types::config::SystemConfig;
+use camps_types::config::{SystemConfig, TopologyKind};
 use camps_workloads::{Mix, ALL_MIXES};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -80,6 +88,8 @@ struct Options {
     backoff_ms: u64,
     deadline_secs: Option<f64>,
     threads: Option<usize>,
+    cubes: u32,
+    topology: TopologyKind,
 }
 
 fn parse_scheme(s: &str) -> Option<SchemeKind> {
@@ -112,6 +122,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         backoff_ms: 0,
         deadline_secs: None,
         threads: None,
+        cubes: 1,
+        topology: TopologyKind::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -219,6 +231,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .ok_or("--threads needs a count")?,
                 );
             }
+            "--cubes" => {
+                opts.cubes = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cubes needs a power-of-two count")?;
+            }
+            "--topology" => {
+                opts.topology = it.next().ok_or("--topology needs chain|star")?.parse()?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -255,7 +276,7 @@ fn emit(results: &[RunResult], json: bool) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = SystemConfig::paper_default();
+    let mut cfg = SystemConfig::paper_default();
     match args.first().map(String::as_str) {
         Some("run") => {
             // `camps run --resume <FILE>` takes mix/scheme/seed from the
@@ -287,6 +308,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            cfg.topology.cubes = opts.cubes;
+            cfg.topology.kind = opts.topology;
             if opts.obs.wants_any() {
                 if !TraceHandle::compiled() {
                     eprintln!(
@@ -395,6 +418,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            cfg.topology.cubes = opts.cubes;
+            cfg.topology.kind = opts.topology;
             if opts.obs.trace_filter.is_some()
                 || opts.obs.metrics_every.is_some()
                 || opts.obs.metrics_out.is_some()
@@ -469,6 +494,7 @@ fn main() -> ExitCode {
                  \n  camps run HM1 campsmod --trace-out run.trace.json --metrics-every 1000\
                  \n  camps run --resume camps.ckpt.json\
                  \n  camps sweep --mixes HM1,LM1 --schemes base,campsmod\
+                 \n  camps sweep --cubes 2 --topology chain   # multi-cube pool\
                  \n  camps sweep --journal sweep.jsonl --retries 2 --checkpoint-every 1000000\
                  \n  camps list | camps config"
             );

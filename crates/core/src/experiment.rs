@@ -105,7 +105,7 @@ pub fn run_mix_with_engine(
     seed: u64,
     engine: Engine,
 ) -> Result<RunResult, SimError> {
-    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let capacity = cfg.cube_map()?.capacity_bytes();
     let traces = mix.build_traces(capacity, seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
     sys.set_engine(engine);
@@ -130,7 +130,7 @@ pub fn run_mix_recoverable(
     seed: u64,
     policy: &RecoveryPolicy,
 ) -> Result<(RunResult, RecoveryReport), SimError> {
-    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let capacity = cfg.cube_map()?.capacity_bytes();
     let traces = mix.build_traces(capacity, seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
     sys.warmup(len.warmup_instructions);
@@ -162,7 +162,7 @@ pub fn resume_mix(cfg: &SystemConfig, path: &Path) -> Result<RunResult, SimError
         reason: format!("snapshot names unknown mix `{}`", manifest.mix_id),
     })?;
     let scheme = scheme_from_name(&manifest.scheme)?;
-    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let capacity = cfg.cube_map()?.capacity_bytes();
     let traces = mix.build_traces(capacity, manifest.seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
     // Placeholder run bookkeeping; restore_run overwrites every field.
@@ -208,7 +208,7 @@ pub fn run_mix_observed(
     engine: Engine,
     obs_cfg: &ObsConfig,
 ) -> Result<RunResult, SimError> {
-    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let capacity = cfg.cube_map()?.capacity_bytes();
     let traces = mix.build_traces(capacity, seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
     sys.set_engine(engine);
@@ -241,7 +241,7 @@ pub fn run_mix_recoverable_observed(
     policy: &RecoveryPolicy,
     obs_cfg: &ObsConfig,
 ) -> Result<(RunResult, RecoveryReport), SimError> {
-    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let capacity = cfg.cube_map()?.capacity_bytes();
     let traces = mix.build_traces(capacity, seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
     sys.enable_obs(obs_cfg);

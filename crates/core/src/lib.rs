@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod sweep;
 pub mod system;
+pub mod topology;
 
 pub use audit::RequestAuditor;
 pub use experiment::{
@@ -53,3 +54,4 @@ pub use recovery::{
 };
 pub use sweep::{run_sweep, JobOutcome, JobRecord, SweepPolicy, SweepReport, SweepRun};
 pub use system::{Engine, System};
+pub use topology::Topology;

@@ -556,7 +556,7 @@ fn run_attempt(
         _ => None,
     };
 
-    let capacity = cfg.hmc.address_mapping()?.capacity_bytes();
+    let capacity = cfg.cube_map()?.capacity_bytes();
     let traces = mix.build_traces(capacity, seed)?;
     let mut sys = System::new(cfg, scheme, traces)?;
     let mut run = None;
@@ -699,12 +699,17 @@ fn micros_since(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Per-job checkpoint file, keyed by the job identity *and* run length —
-/// a leftover checkpoint from a different-length sweep must never be
-/// resumed into this one.
+/// Per-job checkpoint file, keyed by the *full* job identity: config
+/// hash, workload, scheme, seed, and run length. The config hash prefix
+/// matters — two sweeps sharing a scratch directory but differing only
+/// in machine configuration (say, cube count) would otherwise collide on
+/// the same filename, and a resume would restore a checkpoint from the
+/// wrong machine (rejected by the manifest hash check, but the job then
+/// restarts from zero instead of its own checkpoint).
 fn ckpt_file(dir: &Path, key: &JobKey) -> PathBuf {
     dir.join(format!(
-        "{}-{}-s{}-w{}-i{}.ckpt.json",
+        "{:016x}-{}-{}-s{}-w{}-i{}.ckpt.json",
+        key.config_hash,
         key.mix_id,
         key.scheme.name(),
         key.seed,
@@ -927,6 +932,44 @@ mod tests {
             serde_json::to_string(&result.to_value()).unwrap(),
             "journaled result must round-trip bit-identically"
         );
+    }
+
+    #[test]
+    fn checkpoint_files_differ_across_configs() {
+        // Same mix/scheme/seed/length, different machine (cube count):
+        // the checkpoint filenames must not collide, or two sweeps
+        // sharing one scratch directory would clobber each other's
+        // resume state.
+        let dir = Path::new("/tmp/sweep-ckpt");
+        let mix = &ALL_MIXES[0];
+        let one = SystemConfig::paper_default();
+        let mut four = SystemConfig::paper_default();
+        four.topology.cubes = 4;
+        let key_one = JobKey::new(
+            config_hash(&one).unwrap(),
+            mix,
+            SchemeKind::Nopf,
+            1,
+            &tiny(),
+        );
+        let key_four = JobKey::new(
+            config_hash(&four).unwrap(),
+            mix,
+            SchemeKind::Nopf,
+            1,
+            &tiny(),
+        );
+        assert_ne!(key_one.config_hash, key_four.config_hash);
+        assert_ne!(ckpt_file(dir, &key_one), ckpt_file(dir, &key_four));
+        // Identical configs still agree on the filename (resume works).
+        let again = JobKey::new(
+            config_hash(&one).unwrap(),
+            mix,
+            SchemeKind::Nopf,
+            1,
+            &tiny(),
+        );
+        assert_eq!(ckpt_file(dir, &key_one), ckpt_file(dir, &again));
     }
 
     #[test]

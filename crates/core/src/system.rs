@@ -3,6 +3,7 @@
 use crate::audit::RequestAuditor;
 use crate::hmc::HmcDevice;
 use crate::metrics::RunResult;
+use crate::topology::Topology;
 use camps_cache::hierarchy::{CacheHierarchy, HierarchyOutcome};
 use camps_cache::mshr::MshrFile;
 use camps_cpu::core_model::{Core, MemoryPort, PortResult};
@@ -28,13 +29,14 @@ const STORE_WAITER: u64 = u64::MAX;
 /// only, wake no one, never dirty).
 const CORE_PF_WAITER: u64 = u64::MAX - 1;
 
-/// Everything below the cores: caches, MSHRs, host controller, cube.
+/// Everything below the cores: caches, MSHRs, host controller, and the
+/// cube pool (one or more cubes behind a [`Topology`]).
 ///
 /// Implements [`MemoryPort`], so cores tick directly against it.
 pub struct MemorySubsystem {
     hierarchy: CacheHierarchy,
     mshrs: MshrFile,
-    hmc: HmcDevice,
+    topo: Topology,
     /// Write-allocate fills that must land dirty.
     dirty_fills: HashSet<u64>,
     /// Per-waiter issue cycles for latency accounting.
@@ -85,7 +87,7 @@ impl MemorySubsystem {
         Ok(Self {
             hierarchy: CacheHierarchy::new(cfg),
             mshrs: MshrFile::new(cfg.l3.mshrs, cfg.l3.line_bytes),
-            hmc: HmcDevice::new(cfg, scheme)?,
+            topo: Topology::new(cfg, scheme)?,
             dirty_fills: HashSet::new(),
             issue_cycle: HashMap::new(),
             first_attempt: HashMap::new(),
@@ -101,21 +103,36 @@ impl MemorySubsystem {
             amat_mem: Running::new(),
             buffer_served: 0,
             mem_reads: 0,
-            auditor: RequestAuditor::new(cfg.integrity.audit, cfg.hmc.vaults as usize),
+            auditor: RequestAuditor::new(
+                cfg.integrity.audit,
+                cfg.hmc.vaults as usize * cfg.topology.cubes as usize,
+            ),
             responses_delivered: 0,
             obs: TraceHandle::disabled(),
         })
     }
 
-    /// Direct access to the cube (tests, stats finalization).
+    /// Direct access to the host-attached cube (tests and single-cube
+    /// callers; multi-cube code should go through [`Self::topology`]).
     pub fn hmc_mut(&mut self) -> &mut HmcDevice {
-        &mut self.hmc
+        self.topo.cube0_mut()
     }
 
-    /// Direct read access to the cube.
+    /// Direct read access to the host-attached cube.
     #[must_use]
     pub fn hmc(&self) -> &HmcDevice {
-        &self.hmc
+        self.topo.cube0()
+    }
+
+    /// The cube pool: address interleaving, fabric, and every cube.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable access to the cube pool.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
     }
 
     /// The cache hierarchy (functional warmup uses it directly).
@@ -123,10 +140,10 @@ impl MemorySubsystem {
         &mut self.hierarchy
     }
 
-    /// Installs observability hooks here, on the cube, and on every
+    /// Installs observability hooks here, on every cube, and on every
     /// vault (all clones of one handle).
     pub fn set_obs(&mut self, obs: TraceHandle) {
-        self.hmc.set_obs(obs.clone());
+        self.topo.set_obs(obs.clone());
         self.obs = obs;
     }
 
@@ -135,14 +152,15 @@ impl MemorySubsystem {
         RequestId(self.next_id)
     }
 
-    /// Submits `req` to the cube, recording the injection with the
-    /// auditor when the cube accepts it. All host-side submits go
+    /// Submits `req` to the cube pool, recording the injection with the
+    /// auditor when the pool accepts it. All host-side submits go
     /// through here so the request ledger sees every demand, writeback,
-    /// and core-side prefetch.
-    fn submit_audited(&mut self, req: MemRequest) -> bool {
-        let vault = usize::from(self.hmc.mapping().decode(req.addr).vault);
+    /// and core-side prefetch. The auditor's vault index is pool-global
+    /// (`cube * vaults_per_cube + local_vault`).
+    fn submit_audited(&mut self, req: MemRequest, now: Cycle) -> bool {
+        let (_, vault) = self.topo.route_of(req.addr);
         let id = req.id;
-        let accepted = self.hmc.submit(req);
+        let accepted = self.topo.submit(req, now);
         if accepted {
             self.auditor.record_injected(id, vault);
         }
@@ -193,27 +211,31 @@ impl MemorySubsystem {
             self.wb_scratch.is_empty(),
             "writeback scratch not drained between ticks"
         );
-        // Drain pending L3 writebacks into the cube as posted writes.
+        // Drain pending L3 writebacks into the cube pool as posted
+        // writes (FIFO: a full owning cube blocks the queue head).
         while let Some(&wb) = self.writeback_q.front() {
-            if self.hmc.headroom() == 0 {
+            if self.topo.headroom_for(wb) == 0 {
                 break;
             }
             let id = self.fresh_id();
             self.obs.issue(id.0, 0, wb.0, ReqClass::Writeback, now, now);
-            let accepted = self.submit_audited(MemRequest {
-                id,
-                addr: wb,
-                kind: AccessKind::Write,
-                core: CoreId(0),
-                created_at: now,
-            });
+            let accepted = self.submit_audited(
+                MemRequest {
+                    id,
+                    addr: wb,
+                    kind: AccessKind::Write,
+                    core: CoreId(0),
+                    created_at: now,
+                },
+                now,
+            );
             debug_assert!(accepted, "headroom was checked");
             self.writeback_q.pop_front();
         }
 
         self.resp_scratch.clear();
         let mut responses = std::mem::take(&mut self.resp_scratch);
-        self.hmc.tick(now, &mut responses);
+        self.topo.tick(now, &mut responses);
 
         for resp in &responses {
             if resp.push {
@@ -282,7 +304,7 @@ impl MemorySubsystem {
     /// True while memory-side work remains.
     #[must_use]
     pub fn busy(&self) -> bool {
-        self.hmc.busy() || self.mshrs.in_flight() > 0 || !self.writeback_q.is_empty()
+        self.topo.busy() || self.mshrs.in_flight() > 0 || !self.writeback_q.is_empty()
     }
 
     fn token(core: CoreId, slot: u64) -> u64 {
@@ -301,20 +323,23 @@ impl MemorySubsystem {
             if self.hierarchy.access_untimed(target) || self.mshrs.contains(target) {
                 continue; // already on chip or in flight
             }
-            if self.mshrs.is_full() || self.hmc.headroom() == 0 {
+            if self.mshrs.is_full() || self.topo.headroom_for(target) == 0 {
                 return; // never squeeze demand
             }
             self.mshrs.allocate(target, CORE_PF_WAITER);
             let id = self.fresh_id();
             self.obs
                 .issue(id.0, core.0, target.0, ReqClass::CorePrefetch, now, now);
-            let accepted = self.submit_audited(MemRequest {
-                id,
-                addr: target,
-                kind: AccessKind::Read,
-                core,
-                created_at: now,
-            });
+            let accepted = self.submit_audited(
+                MemRequest {
+                    id,
+                    addr: target,
+                    kind: AccessKind::Read,
+                    core,
+                    created_at: now,
+                },
+                now,
+            );
             debug_assert!(accepted, "headroom was checked");
             self.core_pf_issued += 1;
         }
@@ -322,16 +347,19 @@ impl MemorySubsystem {
 }
 
 impl Wake for MemorySubsystem {
-    /// The memory side wakes with the cube, plus an immediate wake while
-    /// queued L3 writebacks can drain into free host-queue headroom (the
-    /// drain runs at the top of every tick). MSHRs and caches hold no
-    /// timers of their own — their state only changes when the cube
-    /// delivers a response, which the cube's own wake already covers.
+    /// The memory side wakes with the cube pool, plus an immediate wake
+    /// while the queued L3 writeback at the head can drain into its
+    /// cube's free host-queue headroom (the drain runs at the top of
+    /// every tick). MSHRs and caches hold no timers of their own — their
+    /// state only changes when the pool delivers a response, which the
+    /// pool's own wake already covers.
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        if !self.writeback_q.is_empty() && self.hmc.headroom() > 0 {
-            return Some(now + 1);
+        if let Some(&wb) = self.writeback_q.front() {
+            if self.topo.headroom_for(wb) > 0 {
+                return Some(now + 1);
+            }
         }
-        self.hmc.next_event(now)
+        self.topo.next_event(now)
     }
 }
 
@@ -355,7 +383,11 @@ impl Snapshot for MemorySubsystem {
         Value::Map(vec![
             ("hierarchy".into(), self.hierarchy.save_state()),
             ("mshrs".into(), self.mshrs.save_state()),
-            ("hmc".into(), self.hmc.save_state()),
+            // Key kept as `hmc` across the topology refactor: at one
+            // cube the value is the bare device state (byte-identical to
+            // pre-topology snapshots); multi-cube pools nest a map with
+            // a `cubes` key, which restore detects by shape.
+            ("hmc".into(), self.topo.save_state()),
             ("dirty_fills".into(), dirty_fills.to_value()),
             ("issue_cycle".into(), issue_cycle.to_value()),
             ("first_attempt".into(), first_attempt.to_value()),
@@ -377,7 +409,7 @@ impl Snapshot for MemorySubsystem {
     fn restore_state(&mut self, state: &Value) -> Result<(), de::Error> {
         self.hierarchy.restore_state(field(state, "hierarchy")?)?;
         self.mshrs.restore_state(field(state, "mshrs")?)?;
-        self.hmc.restore_state(field(state, "hmc")?)?;
+        self.topo.restore_state(field(state, "hmc")?)?;
         let dirty_fills: Vec<u64> = decode(state, "dirty_fills")?;
         self.dirty_fills = dirty_fills.into_iter().collect();
         let issue_cycle: Vec<(u64, Cycle)> = decode(state, "issue_cycle")?;
@@ -425,7 +457,7 @@ impl MemoryPort for MemorySubsystem {
                     self.issue_cycle.insert(token, issued);
                     return PortResult::Accepted;
                 }
-                if self.mshrs.is_full() || self.hmc.headroom() == 0 {
+                if self.mshrs.is_full() || self.topo.headroom_for(addr) == 0 {
                     self.first_attempt.entry((core.0, block)).or_insert(now);
                     return PortResult::Rejected;
                 }
@@ -440,13 +472,16 @@ impl MemoryPort for MemorySubsystem {
                 // real event times or the host-queue span goes negative.
                 self.obs
                     .issue(id.0, core.0, block, ReqClass::DemandRead, issued, now);
-                let accepted = self.submit_audited(MemRequest {
-                    id,
-                    addr: addr.block_base(self.block_bytes),
-                    kind: AccessKind::Read,
-                    core,
-                    created_at: now + lookup_latency,
-                });
+                let accepted = self.submit_audited(
+                    MemRequest {
+                        id,
+                        addr: addr.block_base(self.block_bytes),
+                        kind: AccessKind::Read,
+                        core,
+                        created_at: now + lookup_latency,
+                    },
+                    now,
+                );
                 debug_assert!(accepted, "headroom was checked");
                 self.issue_core_prefetches(now, core, addr);
                 PortResult::Accepted
@@ -473,7 +508,7 @@ impl MemoryPort for MemorySubsystem {
                     self.dirty_fills.insert(block);
                     return true;
                 }
-                if self.mshrs.is_full() || self.hmc.headroom() == 0 {
+                if self.mshrs.is_full() || self.topo.headroom_for(addr) == 0 {
                     return false;
                 }
                 self.mshrs.allocate(addr, STORE_WAITER);
@@ -481,13 +516,16 @@ impl MemoryPort for MemorySubsystem {
                 let id = self.fresh_id();
                 self.obs
                     .issue(id.0, core.0, block, ReqClass::Store, now, now);
-                let accepted = self.submit_audited(MemRequest {
-                    id,
-                    addr: PhysAddr(block),
-                    kind: AccessKind::Read,
-                    core,
-                    created_at: now + lookup_latency,
-                });
+                let accepted = self.submit_audited(
+                    MemRequest {
+                        id,
+                        addr: PhysAddr(block),
+                        kind: AccessKind::Read,
+                        core,
+                        created_at: now + lookup_latency,
+                    },
+                    now,
+                );
                 debug_assert!(accepted, "headroom was checked");
                 true
             }
@@ -726,7 +764,7 @@ impl System {
     /// injected fault (the plan is "quarantined").
     pub fn quarantine_faults(&mut self) {
         self.cfg.faults = FaultPlan::default();
-        self.mem.hmc_mut().set_faults(FaultPlan::default());
+        self.mem.topology_mut().set_faults(FaultPlan::default());
     }
 
     /// Functionally warms the caches by streaming `instructions` per core
@@ -922,7 +960,7 @@ impl System {
                 core.stats().retired.get().min(state.instructions) as f64 / cycles as f64
             })
             .collect();
-        let vaults = self.mem.hmc_mut().finalize(self.now);
+        let vaults = self.mem.topology_mut().finalize(self.now);
         let amplification = Some(camps_stats::AmplificationReport::from_counts(
             vaults.demand_activations.get(),
             vaults.prefetch_activations.get(),
@@ -956,7 +994,7 @@ impl System {
     /// every vault, and appends it to the tracer's time-series.
     fn record_metrics_sample(&mut self) {
         let retired: u64 = self.cores.iter().map(|c| c.stats().retired.get()).sum();
-        let hmc = self.mem.hmc();
+        let topo = self.mem.topology();
         let mut vault_read_queue = 0u64;
         let mut vault_write_queue = 0u64;
         let mut buffer_rows = 0u64;
@@ -970,7 +1008,7 @@ impl System {
         let mut prefetches = 0u64;
         let mut worst_row_window_acts = 0u64;
         let mut rowguard_mitigations = 0u64;
-        for v in hmc.vaults() {
+        for v in topo.all_cubes().iter().flat_map(|c| c.vaults()) {
             vault_read_queue += v.read_queue_len() as u64;
             vault_write_queue += v.write_queue_len() as u64;
             let (rows, cap) = v.buffer_occupancy();
@@ -997,7 +1035,7 @@ impl System {
             responses: self.mem.responses_delivered(),
             mem_reads: self.mem.mem_reads,
             buffer_served: self.mem.buffer_served,
-            host_queue: hmc.host_queue_len() as u64,
+            host_queue: topo.host_queue_len() as u64,
             mshr_in_flight: self.mem.mshr_in_flight() as u64,
             writeback_queue: self.mem.writeback_queue_len() as u64,
             vault_read_queue,
@@ -1018,6 +1056,9 @@ impl System {
             cycles_skipped: self.cycles_skipped,
             worst_row_window_acts,
             rowguard_mitigations,
+            cubes: topo.cubes() as u64,
+            cube_link_inflight: topo.link_inflight() as u64,
+            cube_host_queue: topo.host_queue_lens(),
         });
     }
 
@@ -1032,17 +1073,17 @@ impl System {
     /// Structured occupancy dump for the watchdog: where every queue,
     /// row, and token stood when forward progress stopped.
     fn diagnostic_report(&self, stall_cycles: Cycle) -> WatchdogReport {
-        let hmc = self.mem.hmc();
+        let topo = self.mem.topology();
         WatchdogReport {
             now: self.now,
             stall_cycles,
-            host_queue: hmc.host_queue_len(),
+            host_queue: topo.host_queue_len(),
             mshr_in_flight: self.mem.mshr_in_flight(),
             writeback_queue: self.mem.writeback_queue_len(),
             rob_occupancy: self.cores.iter().map(Core::rob_occupancy).collect(),
-            req_link_tokens: hmc.req_link_tokens(),
-            resp_link_tokens: hmc.resp_link_tokens(),
-            vaults: hmc.vault_snapshots(),
+            req_link_tokens: topo.req_link_tokens(),
+            resp_link_tokens: topo.resp_link_tokens(),
+            vaults: topo.vault_snapshots(),
         }
     }
 }

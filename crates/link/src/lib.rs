@@ -12,9 +12,11 @@
 #![warn(missing_docs)]
 
 pub mod crossbar;
+pub mod cube_link;
 pub mod packet;
 pub mod serdes;
 
 pub use crossbar::Crossbar;
+pub use cube_link::{CubeFabric, HopLink};
 pub use packet::{Packet, PacketKind};
 pub use serdes::{LinkSet, SerialLink};

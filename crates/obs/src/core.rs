@@ -24,10 +24,14 @@ const METRICS_ROW_CAP: usize = 1 << 20;
 struct Pending {
     class: ReqClass,
     core: u8,
+    cube: u16,
     vault: u16,
     addr: u64,
     issue: Cycle,
     inject: Cycle,
+    /// Delivery into the owning cube's host queue after the inter-cube
+    /// interconnect; `UNSET` on single-cube machines (no hop exists).
+    cube_arrive: Cycle,
     launch: Cycle,
     arrive: Cycle,
     service: Cycle,
@@ -44,6 +48,7 @@ enum TraceRecord {
         stage: Stage,
         id: u64,
         core: u8,
+        cube: u16,
         vault: u16,
         addr: u64,
         source: Option<ServiceSource>,
@@ -152,10 +157,12 @@ impl ObsCore {
             Pending {
                 class,
                 core,
+                cube: 0,
                 vault: 0,
                 addr,
                 issue,
                 inject,
+                cube_arrive: UNSET,
                 launch: UNSET,
                 arrive: UNSET,
                 service: UNSET,
@@ -181,6 +188,15 @@ impl ObsCore {
         }
     }
 
+    pub(crate) fn cube_arrive(&mut self, id: u64, cube: u16, at: Cycle) {
+        if let Some(p) = self.pending.get_mut(&id) {
+            p.cube = cube;
+            if p.cube_arrive == UNSET {
+                p.cube_arrive = at;
+            }
+        }
+    }
+
     pub(crate) fn arrive(&mut self, id: u64, vault: u16, at: Cycle) {
         if let Some(p) = self.pending.get_mut(&id) {
             p.vault = vault;
@@ -200,9 +216,19 @@ impl ObsCore {
             return;
         };
         let service_stage = Stage::from_source(source);
+        // With no interconnect hop (`cube_arrive` unset) the cube-link
+        // edge has zero span and is skipped, and the host-queue span
+        // starts at injection — exactly the single-cube accounting. With
+        // a hop the two edges telescope through `cube_arrive` instead.
+        let hq_start = if p.cube_arrive == UNSET {
+            p.inject
+        } else {
+            p.cube_arrive
+        };
         let edges = [
             (Stage::CacheMshr, p.issue, p.inject),
-            (Stage::HostQueue, p.inject, p.launch),
+            (Stage::CubeLink, p.inject, p.cube_arrive),
+            (Stage::HostQueue, hq_start, p.launch),
             (Stage::ReqLink, p.launch, p.arrive),
             (Stage::VaultQueue, p.arrive, p.service),
             (service_stage, p.service, p.ready),
@@ -222,6 +248,7 @@ impl ObsCore {
                     stage,
                     id,
                     core: p.core,
+                    cube: p.cube,
                     vault: p.vault,
                     addr: p.addr,
                     source: (stage == service_stage).then_some(source),
@@ -327,6 +354,7 @@ impl ObsCore {
                     stage,
                     id,
                     core,
+                    cube,
                     vault,
                     addr,
                     source,
@@ -338,7 +366,8 @@ impl ObsCore {
                         out,
                         ",\n{{\"ph\":\"b\",\"cat\":\"req\",\"id\":\"0x{id:x}\",\
                          \"name\":\"{name}\",\"pid\":1,\"tid\":1,\"ts\":{start},\
-                         \"args\":{{\"core\":{core},\"vault\":{vault},\"addr\":\"0x{addr:x}\""
+                         \"args\":{{\"core\":{core},\"cube\":{cube},\"vault\":{vault},\
+                         \"addr\":\"0x{addr:x}\""
                     );
                     if let Some(src) = source {
                         let _ = write!(out, ",\"source\":\"{}\"", src.name());
@@ -455,6 +484,27 @@ mod tests {
         let stage_sum: f64 = b.stages.iter().map(|s| s.mean_cycles).sum();
         assert!((stage_sum - b.mean_total).abs() < 1e-9);
         assert_eq!(b.mean_of("bank_conflict"), 25.0);
+    }
+
+    #[test]
+    fn cube_hop_splits_host_queue_and_still_telescopes() {
+        let mut core = traced_core();
+        core.issue(1, 0, 0x40, ReqClass::DemandRead, 100, 102);
+        core.cube_arrive(1, 2, 110);
+        core.stamp(1, Point::LinkLaunch, 115);
+        core.arrive(1, 3, 123);
+        core.stamp(1, Point::ServiceStart, 130);
+        core.stamp(1, Point::RespReady, 155);
+        core.finish(1, ServiceSource::RowBufferMiss, 163);
+        let (count, cycles) = core.traced_reads();
+        assert_eq!(count, 1);
+        assert_eq!(cycles, 63, "cube_link edge must keep telescoping");
+        let b = core.breakdown();
+        assert_eq!(b.mean_of("cube_link"), 8.0);
+        assert_eq!(b.mean_of("host_queue"), 5.0);
+        let text = core.render_trace_json();
+        assert!(text.contains("cube_link"));
+        assert!(text.contains("\"cube\":2"));
     }
 
     #[test]

@@ -175,6 +175,15 @@ impl TraceHandle {
         self.with(|c| c.stamp(id, point, at));
     }
 
+    /// Stamps delivery into a cube's host queue after the inter-cube
+    /// interconnect, recording which cube owns the request. Single-cube
+    /// machines never call this; the `cube_link` span is then absent
+    /// and the host-queue span starts at injection, exactly as before.
+    #[inline]
+    pub fn cube_arrive(&self, id: u64, cube: u16, at: Cycle) {
+        self.with(|c| c.cube_arrive(id, cube, at));
+    }
+
     /// Stamps arrival at a vault, recording which vault it was.
     #[inline]
     pub fn arrive(&self, id: u64, vault: u16, at: Cycle) {
@@ -331,6 +340,10 @@ impl TraceHandle {
     /// No-op.
     #[inline]
     pub fn stamp(&self, _id: u64, _point: Point, _at: Cycle) {}
+
+    /// No-op.
+    #[inline]
+    pub fn cube_arrive(&self, _id: u64, _cube: u16, _at: Cycle) {}
 
     /// No-op.
     #[inline]

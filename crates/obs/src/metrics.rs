@@ -90,6 +90,17 @@ pub struct MetricsSample {
     /// TRR-style neighbor refreshes injected by the rowguard mitigation.
     #[serde(default)]
     pub rowguard_mitigations: u64,
+    /// Cubes in the pool (1 on pre-topology machines).
+    #[serde(default)]
+    pub cubes: u64,
+    /// Requests + responses currently crossing the inter-cube
+    /// interconnect (gauge; 0 on single-cube machines).
+    #[serde(default)]
+    pub cube_link_inflight: u64,
+    /// Per-cube host-queue depths (gauge; rendered as one `;`-joined
+    /// CSV cell so the column count stays fixed across cube counts).
+    #[serde(default)]
+    pub cube_host_queue: Vec<u64>,
 }
 
 /// Field order shared by the CSV header and rows — keep in sync with
@@ -101,15 +112,22 @@ pub(crate) const CSV_HEADER: &str = "schema,cycle,retired,responses,mem_reads,bu
 host_queue,mshr_in_flight,writeback_queue,vault_read_queue,vault_write_queue,buffer_rows,\
 buffer_capacity,rut_entries,ct_entries,row_hits,row_misses,row_conflicts,buffer_hits,\
 prefetches,amat_mem_mean,traced_reads,traced_cycles,wake_ticks,cycles_skipped,\
-worst_row_window_acts,rowguard_mitigations";
+worst_row_window_acts,rowguard_mitigations,cubes,cube_link_inflight,cube_host_queue";
 
 impl MetricsSample {
     /// One CSV row, field order matching [`CSV_HEADER`].
     #[must_use]
     #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     pub(crate) fn csv_row(&self) -> String {
+        let cube_host_queue = self
+            .cube_host_queue
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(";");
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},\
+             {},{},{cube_host_queue}",
             self.schema,
             self.cycle,
             self.retired,
@@ -137,6 +155,8 @@ impl MetricsSample {
             self.cycles_skipped,
             self.worst_row_window_acts,
             self.rowguard_mitigations,
+            self.cubes,
+            self.cube_link_inflight,
         )
     }
 }

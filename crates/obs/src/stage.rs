@@ -9,6 +9,10 @@ pub enum Stage {
     /// MSHR allocation: first attempt → host-queue entry (this is the
     /// MSHR-full / host-backpressure stall time; zero when uncontended).
     CacheMshr,
+    /// Crossing the inter-cube interconnect to a remote cube's host
+    /// queue (absent on single-cube machines and for the host-attached
+    /// cube 0, whose requests take zero hops).
+    CubeLink,
     /// Waiting in the host-side queue for serial-link credit.
     HostQueue,
     /// Request packet crossing serdes link + crossbar to the vault.
@@ -28,12 +32,13 @@ pub enum Stage {
 }
 
 /// Number of distinct stages.
-pub const STAGE_COUNT: usize = 9;
+pub const STAGE_COUNT: usize = 10;
 
 impl Stage {
     /// All stages, in pipeline order.
     pub const ALL: [Stage; STAGE_COUNT] = [
         Stage::CacheMshr,
+        Stage::CubeLink,
         Stage::HostQueue,
         Stage::ReqLink,
         Stage::VaultQueue,
@@ -49,6 +54,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::CacheMshr => "cache_mshr",
+            Stage::CubeLink => "cube_link",
             Stage::HostQueue => "host_queue",
             Stage::ReqLink => "req_link",
             Stage::VaultQueue => "vault_queue",

@@ -331,6 +331,158 @@ impl AddressMapping {
     }
 }
 
+/// The cube-interleaving stage layered above [`AddressMapping`]: splices
+/// a cube-id bit field into the physical address at the interleave
+/// granularity, so a pool of `cubes` identical cubes presents one flat
+/// address space.
+///
+/// Bit layout of a global address (low to high):
+///
+/// ```text
+/// | granule offset | cube id | cube-local high bits |
+///   splice_shift     cube_bits
+/// ```
+///
+/// where `splice_shift = log2(block_bytes * interleave_blocks)`. With
+/// one cube the field is zero bits wide and every operation is the
+/// identity — the single-cube machine is bit-identical to a mapping
+/// used directly. The splice is a pure bit permutation, so
+/// (`cube_of`, `local_addr`) ↔ `global_addr` are exact inverses and no
+/// two global addresses alias (property-tested below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeMap {
+    mapping: AddressMapping,
+    cubes: u32,
+    cube_bits: u32,
+    splice_shift: u32,
+}
+
+impl CubeMap {
+    /// Builds the interleaving stage for `cubes` cubes of identical
+    /// geometry, rotating ownership every `interleave_blocks` blocks.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] when `cubes` or `interleave_blocks` is
+    /// zero or not a power of two, or when the interleave granule does
+    /// not fit inside one cube's address space.
+    pub fn new(
+        mapping: AddressMapping,
+        cubes: u32,
+        interleave_blocks: u32,
+    ) -> Result<Self, ConfigError> {
+        if cubes == 0 || !cubes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "topology.cubes",
+                value: u64::from(cubes),
+            });
+        }
+        if interleave_blocks == 0 || !interleave_blocks.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "topology.interleave_blocks",
+                value: u64::from(interleave_blocks),
+            });
+        }
+        let splice_shift =
+            mapping.block_bytes().trailing_zeros() + interleave_blocks.trailing_zeros();
+        if splice_shift > mapping.addr_bits() {
+            return Err(ConfigError::Invalid {
+                field: "topology.interleave_blocks",
+                reason: format!(
+                    "interleave granule of 2^{splice_shift} bytes exceeds one cube's \
+                     2^{} byte address space",
+                    mapping.addr_bits()
+                ),
+            });
+        }
+        let cube_bits = cubes.trailing_zeros();
+        if mapping.addr_bits() + cube_bits > 62 {
+            return Err(ConfigError::Invalid {
+                field: "topology.cubes",
+                reason: "pool address space exceeds 62 bits".into(),
+            });
+        }
+        Ok(Self {
+            mapping,
+            cubes,
+            cube_bits,
+            splice_shift,
+        })
+    }
+
+    /// Number of cubes in the pool.
+    #[must_use]
+    pub fn cubes(&self) -> u32 {
+        self.cubes
+    }
+
+    /// The per-cube mapping underneath the splice.
+    #[must_use]
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Total pool capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.mapping.capacity_bytes() * u64::from(self.cubes)
+    }
+
+    /// Number of address bits consumed by the pool mapping.
+    #[must_use]
+    pub fn addr_bits(&self) -> u32 {
+        self.mapping.addr_bits() + self.cube_bits
+    }
+
+    /// The cube owning `addr`.
+    #[must_use]
+    pub fn cube_of(&self, addr: PhysAddr) -> u16 {
+        if self.cube_bits == 0 {
+            return 0;
+        }
+        ((addr.0 >> self.splice_shift) & (u64::from(self.cubes) - 1)) as u16
+    }
+
+    /// Strips the cube-id field: the address as the owning cube sees it.
+    /// The identity with one cube.
+    #[must_use]
+    pub fn local_addr(&self, addr: PhysAddr) -> PhysAddr {
+        if self.cube_bits == 0 {
+            return addr;
+        }
+        let low = addr.0 & ((1u64 << self.splice_shift) - 1);
+        let high = addr.0 >> (self.splice_shift + self.cube_bits);
+        PhysAddr((high << self.splice_shift) | low)
+    }
+
+    /// Splices `cube` back into a cube-local address — the exact inverse
+    /// of ([`Self::cube_of`], [`Self::local_addr`]).
+    #[must_use]
+    pub fn global_addr(&self, cube: u16, local: PhysAddr) -> PhysAddr {
+        if self.cube_bits == 0 {
+            return local;
+        }
+        let low = local.0 & ((1u64 << self.splice_shift) - 1);
+        let high = local.0 >> self.splice_shift;
+        let cube = u64::from(cube) & (u64::from(self.cubes) - 1);
+        PhysAddr(low | (cube << self.splice_shift) | (high << (self.splice_shift + self.cube_bits)))
+    }
+
+    /// Decodes a global address into its cube and cube-local fields.
+    #[must_use]
+    pub fn decode(&self, addr: PhysAddr) -> (u16, DecodedAddr) {
+        (
+            self.cube_of(addr),
+            self.mapping.decode(self.local_addr(addr)),
+        )
+    }
+
+    /// Re-encodes a (cube, decoded) pair into its global address.
+    #[must_use]
+    pub fn encode(&self, cube: u16, d: &DecodedAddr) -> PhysAddr {
+        self.global_addr(cube, self.mapping.encode(d))
+    }
+}
+
 /// Pops the low `bits` bits off `a`, returning them.
 fn take(a: &mut u64, bits: u32) -> u64 {
     if bits == 0 {
@@ -438,6 +590,77 @@ mod tests {
         assert_eq!(a.0, PhysAddr(0x1234_5678).block_base(64).0);
     }
 
+    fn paper_cube_map(cubes: u32, interleave_blocks: u32) -> CubeMap {
+        CubeMap::new(paper_mapping(), cubes, interleave_blocks).unwrap()
+    }
+
+    #[test]
+    fn single_cube_map_is_the_identity() {
+        let cm = paper_cube_map(1, 16);
+        for raw in [0u64, 0x40, 0x1234_5678, (4u64 << 30) - 64] {
+            assert_eq!(cm.cube_of(PhysAddr(raw)), 0);
+            assert_eq!(cm.local_addr(PhysAddr(raw)), PhysAddr(raw));
+            assert_eq!(cm.global_addr(0, PhysAddr(raw)), PhysAddr(raw));
+        }
+        assert_eq!(cm.capacity_bytes(), paper_mapping().capacity_bytes());
+        assert_eq!(cm.addr_bits(), paper_mapping().addr_bits());
+    }
+
+    #[test]
+    fn consecutive_granules_rotate_cubes() {
+        // 16-block granule on 64 B blocks = 1 KB stripes across the pool.
+        let cm = paper_cube_map(4, 16);
+        for g in 0..16u64 {
+            assert_eq!(cm.cube_of(PhysAddr(g * 1024)), (g % 4) as u16);
+        }
+        // Within a granule the owner never changes.
+        for b in 0..16u64 {
+            assert_eq!(cm.cube_of(PhysAddr(3 * 1024 + b * 64)), 3);
+        }
+    }
+
+    #[test]
+    fn cube_splice_preserves_local_decode() {
+        // The same cube-local address decodes identically no matter which
+        // cube it is spliced into.
+        let cm = paper_cube_map(8, 4);
+        let local = PhysAddr(0x0BAD_CAFE & !63);
+        let want = cm.mapping().decode(local);
+        for cube in 0..8u16 {
+            let global = cm.global_addr(cube, local);
+            let (c, d) = cm.decode(global);
+            assert_eq!(c, cube);
+            assert_eq!(d, want);
+            assert_eq!(cm.encode(cube, &d), global.block_base(64));
+        }
+    }
+
+    #[test]
+    fn pool_capacity_scales_with_cubes() {
+        assert_eq!(paper_cube_map(4, 16).capacity_bytes(), 16u64 << 30);
+        assert_eq!(paper_cube_map(4, 16).addr_bits(), 34);
+    }
+
+    #[test]
+    fn bad_cube_map_parameters_rejected() {
+        assert!(matches!(
+            CubeMap::new(paper_mapping(), 3, 16),
+            Err(ConfigError::NotPowerOfTwo {
+                field: "topology.cubes",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CubeMap::new(paper_mapping(), 2, 0),
+            Err(ConfigError::NotPowerOfTwo {
+                field: "topology.interleave_blocks",
+                ..
+            })
+        ));
+        // Granule of 2^33 bytes > one cube's 2^32 byte space.
+        assert!(CubeMap::new(paper_mapping(), 2, 1 << 27).is_err());
+    }
+
     proptest! {
         #[test]
         fn decode_encode_roundtrip(raw in 0u64..(4u64 << 30), scheme in 0usize..3) {
@@ -468,6 +691,63 @@ mod tests {
             let (da, db) = (m.decode(PhysAddr(a)), m.decode(PhysAddr(b)));
             prop_assert_ne!((da.vault, da.bank, da.row, da.col, da.offset),
                             (db.vault, db.bank, db.row, db.col, db.offset));
+        }
+
+        /// The splice is bijective for every cube count × interleave
+        /// granularity × mapping variant: stripping and re-splicing the
+        /// cube id reproduces the global address exactly.
+        #[test]
+        fn cube_map_splice_roundtrip(
+            raw in any::<u64>(),
+            cube_pow in 0u32..4,   // 1, 2, 4, 8 cubes
+            ileave_pow in 0u32..9, // 1..=256-block granules
+            scheme in 0usize..3,
+        ) {
+            let m = AddressMapping::new(
+                MappingScheme::ALL[scheme], 32, 16, 1, 8192, 1024, 64).unwrap();
+            let cm = CubeMap::new(m, 1 << cube_pow, 1 << ileave_pow).unwrap();
+            let addr = PhysAddr(raw & ((1u64 << cm.addr_bits()) - 1));
+            let (cube, local) = (cm.cube_of(addr), cm.local_addr(addr));
+            prop_assert!(u32::from(cube) < cm.cubes());
+            prop_assert!(local.0 < cm.mapping().capacity_bytes());
+            prop_assert_eq!(cm.global_addr(cube, local), addr);
+        }
+
+        /// Full decode through cube + mapping round-trips to the block
+        /// base, mirroring `decode_encode_roundtrip` one layer up.
+        #[test]
+        fn cube_map_decode_encode_roundtrip(
+            raw in any::<u64>(),
+            cube_pow in 0u32..4,
+            ileave_pow in 0u32..9,
+            scheme in 0usize..3,
+        ) {
+            let m = AddressMapping::new(
+                MappingScheme::ALL[scheme], 32, 16, 1, 8192, 1024, 64).unwrap();
+            let cm = CubeMap::new(m, 1 << cube_pow, 1 << ileave_pow).unwrap();
+            let addr = PhysAddr(raw & ((1u64 << cm.addr_bits()) - 1));
+            let (cube, d) = cm.decode(addr);
+            prop_assert_eq!(cm.encode(cube, &d), addr);
+        }
+
+        /// No aliasing: two distinct pool addresses never land on the
+        /// same (cube, vault, bank, row, col, offset) target.
+        #[test]
+        fn cube_map_no_aliasing(
+            a in any::<u64>(),
+            b in any::<u64>(),
+            cube_pow in 0u32..4,
+            ileave_pow in 0u32..9,
+        ) {
+            let cm = CubeMap::new(paper_mapping(), 1 << cube_pow, 1 << ileave_pow).unwrap();
+            let mask = (1u64 << cm.addr_bits()) - 1;
+            let (a, b) = (PhysAddr(a & mask), PhysAddr(b & mask));
+            prop_assume!(a != b);
+            let (ca, da) = cm.decode(a);
+            let (cb, db) = cm.decode(b);
+            prop_assert_ne!(
+                (ca, da.vault, da.bank, da.row, da.col, da.offset),
+                (cb, db.vault, db.bank, db.row, db.col, db.offset));
         }
     }
 }

@@ -14,7 +14,7 @@
 //! | PF buffer | 16 KB per vault, fully associative, 1 KB line, 22-cycle hit |
 //! | Mapping | RoRaBaVaCo; FR-FCFS scheduling; open-page policy |
 
-use crate::addr::{AddressMapping, MappingScheme};
+use crate::addr::{AddressMapping, CubeMap, MappingScheme};
 use crate::clock::{ClockDomain, Cycle};
 use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
@@ -336,6 +336,85 @@ impl Default for RowGuardConfig {
     }
 }
 
+/// How the cubes of a multi-cube pool are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TopologyKind {
+    /// Cubes daisy-chained off the host: cube 0 is host-attached, cube
+    /// `i` sits `i` pass-through hops away (the HMC spec's chaining
+    /// story).
+    #[default]
+    Chain,
+    /// Cube 0 is host-attached and doubles as the hub: every other cube
+    /// hangs one hop off it over a dedicated link pair.
+    Star,
+}
+
+impl TopologyKind {
+    /// Stable name used in CLI parsing and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Chain => "chain",
+            TopologyKind::Star => "star",
+        }
+    }
+}
+
+impl std::str::FromStr for TopologyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "chain" => Ok(Self::Chain),
+            "star" => Ok(Self::Star),
+            other => Err(format!("unknown topology `{other}` (chain|star)")),
+        }
+    }
+}
+
+/// Multi-cube pool parameters. The default (`cubes = 1`) is the paper's
+/// single-cube machine: no cube-id bits are spliced into the address,
+/// no interconnect exists, and the engine is bit-identical to the
+/// pre-topology code.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of cubes in the pool (power of two; 1 = single-cube).
+    pub cubes: u32,
+    /// Interconnect shape (ignored with one cube — there are no hops).
+    pub kind: TopologyKind,
+    /// Extra one-way propagation latency per inter-cube hop, in CPU
+    /// cycles (SerDes retime + pass-through switching).
+    pub hop_cycles: Cycle,
+    /// Address-interleave granularity across cubes, in blocks (power of
+    /// two). 1 = consecutive blocks round-robin across cubes; raise it
+    /// to keep whole rows cube-local (`row_bytes / block_bytes` keeps a
+    /// row's blocks on one cube, which is what memory-side row
+    /// prefetching wants).
+    pub interleave_blocks: u32,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            cubes: 1,
+            kind: TopologyKind::Chain,
+            hop_cycles: 10,
+            interleave_blocks: 16,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// Builds the cube-interleaving address stage for this pool over the
+    /// per-cube geometry.
+    ///
+    /// # Errors
+    /// Propagates geometry/topology validation failures.
+    pub fn cube_map(&self, hmc: &HmcGeometry) -> Result<CubeMap, ConfigError> {
+        CubeMap::new(hmc.address_mapping()?, self.cubes, self.interleave_blocks)
+    }
+}
+
 /// Runtime integrity checking: the request auditor and the forward-progress
 /// watchdog. Both are *checkers*, not model features — they never change
 /// simulated behavior, only whether a broken run fails loudly.
@@ -447,6 +526,9 @@ pub struct SystemConfig {
     pub vault: VaultConfig,
     /// Serial links and crossbar.
     pub link: LinkConfig,
+    /// Multi-cube pool shape (defaults to the single-cube machine).
+    #[serde(default)]
+    pub topology: TopologyConfig,
     /// Prefetch engine.
     pub prefetch: PrefetchBufferConfig,
     /// Optional core-side next-line prefetcher (two-level prefetching).
@@ -545,6 +627,7 @@ impl SystemConfig {
                 sleep_after_idle: 0,
                 wake_cycles: 0,
             },
+            topology: TopologyConfig::default(),
             core_prefetch: CoreSidePrefetchConfig::default(),
             rowguard: RowGuardConfig::default(),
             prefetch: PrefetchBufferConfig {
@@ -590,6 +673,15 @@ impl SystemConfig {
         c
     }
 
+    /// The cube-interleaving address stage for this machine (identity
+    /// splice with one cube).
+    ///
+    /// # Errors
+    /// Propagates geometry/topology validation failures.
+    pub fn cube_map(&self) -> Result<CubeMap, ConfigError> {
+        self.topology.cube_map(&self.hmc)
+    }
+
     /// Clock-domain converter for the DRAM command clock.
     #[must_use]
     pub fn dram_domain(&self) -> ClockDomain {
@@ -631,6 +723,7 @@ impl SystemConfig {
             });
         }
         self.hmc.address_mapping()?;
+        self.topology.cube_map(&self.hmc)?;
         for (name, c) in [("l1", &self.l1), ("l2", &self.l2), ("l3", &self.l3)] {
             if c.line_bytes != self.hmc.block_bytes {
                 return Err(ConfigError::Invalid {
@@ -747,6 +840,56 @@ mod tests {
     #[test]
     fn small_is_valid() {
         SystemConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn topology_defaults_to_one_chained_cube() {
+        let t = TopologyConfig::default();
+        assert_eq!(t.cubes, 1);
+        assert_eq!(t.kind, TopologyKind::Chain);
+        assert_eq!(t.kind.name(), "chain");
+        let cm = SystemConfig::paper_default().cube_map().unwrap();
+        assert_eq!(cm.cubes(), 1);
+    }
+
+    #[test]
+    fn pre_topology_config_json_still_deserializes() {
+        // Configs serialized before the topology field existed must load
+        // with the single-cube default.
+        use serde::value::Value;
+        use serde::{Deserialize as _, Serialize as _};
+        let mut v = SystemConfig::paper_default().to_value();
+        if let Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "topology");
+        }
+        let cfg = SystemConfig::from_value(&v).unwrap();
+        assert_eq!(cfg.topology, TopologyConfig::default());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn topology_round_trips_through_json() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.topology.cubes = 4;
+        cfg.topology.kind = TopologyKind::Star;
+        cfg.validate().unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.topology, cfg.topology);
+    }
+
+    #[test]
+    fn non_power_of_two_cube_count_rejected() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.topology.cubes = 3;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topology_kind_parses() {
+        assert_eq!("chain".parse::<TopologyKind>(), Ok(TopologyKind::Chain));
+        assert_eq!("star".parse::<TopologyKind>(), Ok(TopologyKind::Star));
+        assert!("ring".parse::<TopologyKind>().is_err());
     }
 
     #[test]

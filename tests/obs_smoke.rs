@@ -132,7 +132,11 @@ fn traced_recovery_run_exports_all_span_kinds() {
 
     // The breakdown rides in the result of an observed run.
     let breakdown = result.stage_latency.expect("observed run has a breakdown");
-    assert_eq!(breakdown.stages.len(), 9, "fixed-width stage schema");
+    assert_eq!(
+        breakdown.stages.len(),
+        camps_obs::STAGE_COUNT,
+        "fixed-width stage schema"
+    );
     assert!(breakdown.demand_reads > 0);
     std::fs::remove_file(&trace_path).ok();
 }
