@@ -8,6 +8,7 @@
 use camps::experiment::{run_mix, RunLength};
 use camps_dram::bank::Bank;
 use camps_dram::timing::TimingCpu;
+use camps_obs::Profiler;
 use camps_prefetch::buffer::PrefetchBuffer;
 use camps_prefetch::replacement::ReplacementKind;
 use camps_prefetch::scheme::SchemeKind;
@@ -121,7 +122,7 @@ fn bench_vault_tick(c: &mut Criterion) {
                 };
                 let _ = v.try_enqueue(req, d, now);
             }
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
             out.clear();
         });
     });

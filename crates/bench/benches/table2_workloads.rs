@@ -8,6 +8,7 @@
 use camps_bench::write_csv;
 use camps_cache::hierarchy::{CacheHierarchy, HierarchyOutcome};
 use camps_cpu::trace::TraceSource;
+use camps_obs::Profiler;
 use camps_types::config::SystemConfig;
 use camps_workloads::generator::SpecTrace;
 use camps_workloads::profile::MemClass;
@@ -31,7 +32,9 @@ fn mpki(name: &str) -> f64 {
             let op = t.next_op();
             instrs += op.instructions();
             if let Some((addr, kind)) = op.mem {
-                if let HierarchyOutcome::Miss { .. } = h.access(0, addr, !kind.is_read(), &mut wb) {
+                if let HierarchyOutcome::Miss { .. } =
+                    h.access(0, addr, !kind.is_read(), &mut wb, &mut Profiler::off())
+                {
                     if count {
                         *misses += 1;
                     }

@@ -127,6 +127,7 @@ fn run(cubes: u32, kind: TopologyKind) -> Result<String, String> {
         scratch_dir: Some(dir.join("ckpts")),
         threads: None,
         trace_out: None,
+        progress_every: None,
         faults,
     };
     let t1 = Instant::now();

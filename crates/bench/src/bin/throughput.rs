@@ -211,6 +211,7 @@ fn measure_observed(
         );
     }
     result.stage_latency = None;
+    result.profile = None;
     let a = serde_json::to_string(plain_result).map_err(|e| e.to_string())?;
     let b = serde_json::to_string(&result).map_err(|e| e.to_string())?;
     if a != b {

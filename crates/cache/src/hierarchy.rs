@@ -3,6 +3,7 @@
 //! cascade downward and fall out of the L3 as memory writebacks.
 
 use crate::cache::{Cache, CacheStats};
+use camps_obs::{Comp, Profiler};
 use camps_types::addr::PhysAddr;
 use camps_types::clock::Cycle;
 use camps_types::config::SystemConfig;
@@ -55,8 +56,23 @@ impl CacheHierarchy {
 
     /// Performs a demand access for `core`. Dirty lines displaced out of
     /// the L3 are appended to `writebacks` (the caller turns them into
-    /// memory write requests).
+    /// memory write requests). Host time spent probing the levels is
+    /// self-attributed to the profiler's `cache_lookup` bin.
     pub fn access(
+        &mut self,
+        core: usize,
+        addr: PhysAddr,
+        is_write: bool,
+        writebacks: &mut Vec<PhysAddr>,
+        prof: &mut Profiler,
+    ) -> HierarchyOutcome {
+        let t = prof.stamp();
+        let outcome = self.access_inner(core, addr, is_write, writebacks);
+        let _ = prof.lap(Comp::CacheLookup, t);
+        outcome
+    }
+
+    fn access_inner(
         &mut self,
         core: usize,
         addr: PhysAddr,
@@ -234,7 +250,7 @@ mod tests {
     fn cold_access_misses_everywhere() {
         let mut h = hierarchy();
         let mut wb = Vec::new();
-        let out = h.access(0, PhysAddr(0x1000), false, &mut wb);
+        let out = h.access(0, PhysAddr(0x1000), false, &mut wb, &mut Profiler::off());
         assert_eq!(
             out,
             HierarchyOutcome::Miss {
@@ -249,7 +265,7 @@ mod tests {
         let mut h = hierarchy();
         let mut wb = Vec::new();
         h.fill(0, PhysAddr(0x1000), false, &mut wb);
-        let out = h.access(0, PhysAddr(0x1008), false, &mut wb);
+        let out = h.access(0, PhysAddr(0x1008), false, &mut wb, &mut Profiler::off());
         assert_eq!(
             out,
             HierarchyOutcome::Hit {
@@ -272,7 +288,7 @@ mod tests {
         h.fill(0, PhysAddr(stride * 7), false, &mut wb);
         h.fill(0, PhysAddr(stride * 9), false, &mut wb);
         assert_eq!(
-            h.access(0, PhysAddr(0), false, &mut wb),
+            h.access(0, PhysAddr(0), false, &mut wb, &mut Profiler::off()),
             HierarchyOutcome::Hit {
                 level: 2,
                 latency: 8
@@ -280,7 +296,7 @@ mod tests {
         );
         // And now it's back in L1.
         assert_eq!(
-            h.access(0, PhysAddr(0), false, &mut wb),
+            h.access(0, PhysAddr(0), false, &mut wb, &mut Profiler::off()),
             HierarchyOutcome::Hit {
                 level: 1,
                 latency: 2
@@ -294,7 +310,7 @@ mod tests {
         let mut wb = Vec::new();
         h.fill(0, PhysAddr(0x4000), false, &mut wb);
         // Core 1 misses its private L1/L2 but hits the shared L3.
-        let out = h.access(1, PhysAddr(0x4000), false, &mut wb);
+        let out = h.access(1, PhysAddr(0x4000), false, &mut wb, &mut Profiler::off());
         assert_eq!(
             out,
             HierarchyOutcome::Hit {
@@ -310,7 +326,7 @@ mod tests {
         let mut wb = Vec::new();
         h.fill(0, PhysAddr(0x4000), false, &mut wb);
         // Core 1's first access cannot be an L1 hit.
-        match h.access(1, PhysAddr(0x4000), false, &mut wb) {
+        match h.access(1, PhysAddr(0x4000), false, &mut wb, &mut Profiler::off()) {
             HierarchyOutcome::Hit { level, .. } => assert_eq!(level, 3),
             HierarchyOutcome::Miss { .. } => panic!("L3 should hold the line"),
         }
@@ -343,7 +359,7 @@ mod tests {
         let mut h = hierarchy();
         let mut wb = Vec::new();
         h.fill(0, PhysAddr(0x80), false, &mut wb);
-        let out = h.access(0, PhysAddr(0x80), true, &mut wb);
+        let out = h.access(0, PhysAddr(0x80), true, &mut wb, &mut Profiler::off());
         assert!(matches!(out, HierarchyOutcome::Hit { level: 1, .. }));
         assert!(wb.is_empty());
     }
@@ -365,12 +381,12 @@ mod tests {
                 if is_write {
                     dirtied.insert(addr.0);
                 }
-                if let HierarchyOutcome::Miss { .. } = h.access(0, addr, is_write, &mut wb) {
+                if let HierarchyOutcome::Miss { .. } = h.access(0, addr, is_write, &mut wb, &mut Profiler::off()) {
                     h.fill(0, addr, is_write, &mut wb);
                 }
                 // Immediately after a fill (or hit) the line is in L1.
                 let is_l1_hit = matches!(
-                    h.access(0, addr, false, &mut wb),
+                    h.access(0, addr, false, &mut wb, &mut Profiler::off()),
                     HierarchyOutcome::Hit { level: 1, .. }
                 );
                 proptest::prop_assert!(is_l1_hit);
@@ -391,7 +407,9 @@ mod tests {
         let mut wb = Vec::new();
         for i in 0..200u64 {
             let addr = PhysAddr((i * 97 % 64) * 64);
-            if let HierarchyOutcome::Miss { .. } = a.access(0, addr, i % 3 == 0, &mut wb) {
+            if let HierarchyOutcome::Miss { .. } =
+                a.access(0, addr, i % 3 == 0, &mut wb, &mut Profiler::off())
+            {
                 a.fill(0, addr, i % 3 == 0, &mut wb);
             }
         }
@@ -404,8 +422,8 @@ mod tests {
         for i in 0..100u64 {
             let addr = PhysAddr((i * 31 % 80) * 64);
             assert_eq!(
-                a.access(0, addr, false, &mut wb_a),
-                b.access(0, addr, false, &mut wb_b)
+                a.access(0, addr, false, &mut wb_a, &mut Profiler::off()),
+                b.access(0, addr, false, &mut wb_b, &mut Profiler::off())
             );
         }
         assert_eq!(wb_a, wb_b);
@@ -425,12 +443,12 @@ mod tests {
         let mut h = hierarchy();
         let mut wb = Vec::new();
         assert_eq!(h.l3_misses(), 0);
-        h.access(0, PhysAddr(0x1000), false, &mut wb);
-        h.access(0, PhysAddr(0x2000), false, &mut wb);
+        h.access(0, PhysAddr(0x1000), false, &mut wb, &mut Profiler::off());
+        h.access(0, PhysAddr(0x2000), false, &mut wb, &mut Profiler::off());
         assert_eq!(h.l3_misses(), 2);
         h.fill(0, PhysAddr(0x1000), false, &mut wb);
         // L1 hit → the L3 does not even see it.
-        h.access(0, PhysAddr(0x1000), false, &mut wb);
+        h.access(0, PhysAddr(0x1000), false, &mut wb, &mut Profiler::off());
         assert_eq!(h.l3_misses(), 2);
     }
 }

@@ -6,11 +6,13 @@
 //!             [--checkpoint-every CYCLES] [--checkpoint-path FILE] [--max-recoveries N]
 //!             [--trace-out FILE] [--trace-filter SUBSTR]
 //!             [--metrics-every CYCLES] [--metrics-out FILE]
+//!             [--profile] [--profile-out FILE]
 //! camps run   --resume <FILE> [--json]   # continue a checkpointed run
 //! camps sweep [--schemes a,b,…] [--mixes a,b,…] [--scale …] [--seed N] [--json]
 //!             [--cubes N] [--topology chain|star]
 //!             [--journal FILE] [--retries N] [--backoff-ms N] [--deadline-secs S]
 //!             [--checkpoint-every CYCLES] [--threads N] [--trace-out FILE]
+//!             [--progress-secs S]
 //! camps list                    # available mixes, schemes, benchmarks
 //! camps config                  # dump the Table I configuration as JSON
 //! ```
@@ -40,6 +42,12 @@
 //! stages whose name contains the substring. `--metrics-every N` samples
 //! the machine every N cycles into `--metrics-out` (CSV when the file
 //! ends in `.csv`, JSONL otherwise; defaults to `camps.metrics.jsonl`).
+//!
+//! `--profile` turns on the host-side self-profiler: per-component
+//! wall-clock attribution of the simulator's own run time, printed as a
+//! table after the run (and embedded in `--json` output under
+//! `profile`). `--profile-out` additionally writes folded-stack lines
+//! for flamegraph tooling (`flamegraph.pl`, speedscope, inferno).
 //!
 //! `camps sweep` runs under the resilient supervisor
 //! ([`camps::sweep`]): `--journal` streams completed results into an
@@ -88,6 +96,7 @@ struct Options {
     backoff_ms: u64,
     deadline_secs: Option<f64>,
     threads: Option<usize>,
+    progress_secs: Option<f64>,
     cubes: u32,
     topology: TopologyKind,
 }
@@ -122,6 +131,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         backoff_ms: 0,
         deadline_secs: None,
         threads: None,
+        progress_secs: None,
         cubes: 1,
         topology: TopologyKind::default(),
     };
@@ -202,6 +212,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     it.next().ok_or("--metrics-out needs a file")?,
                 ));
             }
+            "--profile" => {
+                opts.obs.profile = true;
+            }
+            "--profile-out" => {
+                opts.obs.profile_out = Some(PathBuf::from(
+                    it.next().ok_or("--profile-out needs a file")?,
+                ));
+            }
             "--journal" => {
                 opts.journal = Some(PathBuf::from(it.next().ok_or("--journal needs a file")?));
             }
@@ -229,6 +247,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .ok_or("--threads needs a count")?,
+                );
+            }
+            "--progress-secs" => {
+                opts.progress_secs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--progress-secs needs seconds")?,
                 );
             }
             "--cubes" => {
@@ -259,6 +284,9 @@ fn emit(results: &[RunResult], json: bool) -> ExitCode {
     }
     for r in results {
         println!("{}", r.summary());
+        if let Some(p) = &r.profile {
+            println!("{}", p.render_table());
+        }
     }
     if results.len() > 1 {
         let cells = speedup_table(results);
@@ -423,9 +451,10 @@ fn main() -> ExitCode {
             if opts.obs.trace_filter.is_some()
                 || opts.obs.metrics_every.is_some()
                 || opts.obs.metrics_out.is_some()
+                || opts.obs.wants_profile()
             {
                 eprintln!(
-                    "camps: per-request tracing flags apply to `camps run`; \
+                    "camps: per-request tracing/profiling flags apply to `camps run`; \
                      `camps sweep` supports only --trace-out (sweep-level instants)"
                 );
                 return ExitCode::FAILURE;
@@ -447,6 +476,7 @@ fn main() -> ExitCode {
                 scratch_dir: None,
                 threads: opts.threads,
                 trace_out: opts.obs.trace_out.clone(),
+                progress_every: opts.progress_secs.map(Duration::from_secs_f64),
                 faults: Default::default(),
             };
             let run = match run_sweep(&cfg, &mixes, &opts.schemes, &opts.scale, opts.seed, &policy)

@@ -187,6 +187,16 @@ fn export_obs(sys: &System, obs_cfg: &ObsConfig) -> Result<(), SimError> {
             .export_metrics(path)
             .map_err(|e| io_err(path, e))?;
     }
+    if let Some(path) = &obs_cfg.profile_out {
+        // Folded-stack lines (`path;to;leaf <excl_ns>`), directly
+        // consumable by `flamegraph.pl` / speedscope / inferno.
+        let folded = sys
+            .profiler()
+            .summary()
+            .map(|p| p.render_folded())
+            .unwrap_or_default();
+        std::fs::write(path, folded).map_err(|e| io_err(path, e))?;
+    }
     Ok(())
 }
 

@@ -8,7 +8,7 @@
 use camps_link::packet::Packet;
 use camps_link::serdes::LinkSet;
 use camps_link::Crossbar;
-use camps_obs::{Point, TraceHandle};
+use camps_obs::{Comp, Point, Profiler, TraceHandle};
 use camps_prefetch::SchemeKind;
 use camps_types::addr::AddressMapping;
 use camps_types::clock::Cycle;
@@ -130,19 +130,29 @@ impl HmcDevice {
     }
 
     /// Advances the cube one CPU cycle; responses delivered to the host at
-    /// `now` are appended to `out`.
-    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+    /// `now` are appended to `out`. `prof` splits the cube's host time
+    /// into serdes-link, crossbar, and vault bins.
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>, prof: &mut Profiler) {
         debug_assert!(
             self.vault_out.is_empty(),
             "vault scratch not drained between ticks"
         );
+        let t = prof.stamp();
         self.return_tokens(now);
         self.launch_requests(now);
-        self.deliver_requests(now);
-        self.retry_vault_queues(now);
-        self.tick_vaults(now);
+        let _ = prof.lap(Comp::SerdesLinks, t);
+        // Scoped spans: prefetch-buffer lookups (crossbar) and the
+        // vault-internal phase laps nest inside these frames.
+        prof.enter(Comp::Crossbar);
+        self.deliver_requests(now, prof);
+        self.retry_vault_queues(now, prof);
+        prof.exit(Comp::Crossbar);
+        prof.enter(Comp::VaultTick);
+        self.tick_vaults(now, prof);
+        let t = prof.exit(Comp::VaultTick);
         self.launch_responses(now);
         self.deliver_responses(now, out);
+        let _ = prof.lap(Comp::SerdesLinks, t);
     }
 
     fn return_tokens(&mut self, now: Cycle) {
@@ -176,7 +186,7 @@ impl HmcDevice {
         }
     }
 
-    fn deliver_requests(&mut self, now: Cycle) {
+    fn deliver_requests(&mut self, now: Cycle, prof: &mut Profiler) {
         while self
             .inflight_req
             .peek()
@@ -199,17 +209,23 @@ impl HmcDevice {
             let d = self.mapping.decode(req.addr);
             let v = usize::from(d.vault);
             self.obs.arrive(req.id.0, d.vault, now);
-            if !self.vaults[v].try_enqueue(req, d, now) {
+            let pt = prof.stamp();
+            let accepted = self.vaults[v].try_enqueue(req, d, now);
+            let _ = prof.lap(Comp::PfLookup, pt);
+            if !accepted {
                 self.vault_retry[v].push_back(req);
             }
         }
     }
 
-    fn retry_vault_queues(&mut self, now: Cycle) {
+    fn retry_vault_queues(&mut self, now: Cycle, prof: &mut Profiler) {
         for v in 0..self.vaults.len() {
             while let Some(&req) = self.vault_retry[v].front() {
                 let d = self.mapping.decode(req.addr);
-                if self.vaults[v].try_enqueue(req, d, now) {
+                let pt = prof.stamp();
+                let accepted = self.vaults[v].try_enqueue(req, d, now);
+                let _ = prof.lap(Comp::PfLookup, pt);
+                if accepted {
                     self.vault_retry[v].pop_front();
                 } else {
                     break;
@@ -218,7 +234,7 @@ impl HmcDevice {
         }
     }
 
-    fn tick_vaults(&mut self, now: Cycle) {
+    fn tick_vaults(&mut self, now: Cycle, prof: &mut Profiler) {
         let stalled = (self.faults.stall_vault_from > 0 && now >= self.faults.stall_vault_from)
             .then_some(self.faults.stall_vault as usize);
         for (idx, v) in self.vaults.iter_mut().enumerate() {
@@ -229,7 +245,7 @@ impl HmcDevice {
                 }
                 continue; // injected fault: the vault makes no progress
             }
-            v.tick(now, &mut self.vault_out);
+            v.tick(now, &mut self.vault_out, prof);
         }
         for resp in &self.vault_out {
             self.obs
@@ -379,21 +395,14 @@ impl Wake for HmcDevice {
             return Some(next);
         }
         if let Some(&req) = self.host_queue.front() {
-            let packet = Packet::request(req, &self.link_cfg, self.block_bytes);
-            if self.req_links.pick(packet.flits).is_some() {
+            let flits = Packet::request_flits(req.kind, &self.link_cfg, self.block_bytes);
+            if self.req_links.pick(flits).is_some() {
                 return Some(next);
             }
         }
         if let Some(&resp) = self.resp_queue.front() {
-            let req = MemRequest {
-                id: resp.id,
-                addr: resp.addr,
-                kind: resp.kind,
-                core: resp.core,
-                created_at: resp.created_at,
-            };
-            let packet = Packet::response(req, &self.link_cfg, self.block_bytes);
-            if self.resp_links.pick(packet.flits).is_some() {
+            let flits = Packet::response_flits(resp.kind, &self.link_cfg, self.block_bytes);
+            if self.resp_links.pick(flits).is_some() {
                 return Some(next);
             }
         }
@@ -532,7 +541,7 @@ mod tests {
         let mut now = start;
         while out.len() < want && now < start + limit {
             now += 1;
-            h.tick(now, &mut out);
+            h.tick(now, &mut out, &mut Profiler::off());
         }
         (out, now)
     }
@@ -601,7 +610,7 @@ mod tests {
         let mut now = 0;
         while h.busy() && now < 200_000 {
             now += 1;
-            h.tick(now, &mut out);
+            h.tick(now, &mut out, &mut Profiler::off());
         }
         assert!(!h.busy(), "cube must drain");
         assert_eq!(out.len(), 16);
@@ -677,7 +686,7 @@ mod tests {
             // Stop mid-flight: some responses delivered, some in the wires.
             while now < 400 {
                 now += 1;
-                a.tick(now, &mut out_a);
+                a.tick(now, &mut out_a, &mut Profiler::off());
             }
             assert!(a.busy(), "scheme {scheme:?}: cube must still be busy");
             let state = a.save_state();
@@ -688,8 +697,8 @@ mod tests {
             let mut out_b = Vec::new();
             while (a.busy() || b.busy()) && now < 500_000 {
                 now += 1;
-                a.tick(now, &mut out_a);
-                b.tick(now, &mut out_b);
+                a.tick(now, &mut out_a, &mut Profiler::off());
+                b.tick(now, &mut out_b, &mut Profiler::off());
             }
             assert!(!a.busy() && !b.busy(), "scheme {scheme:?}: must drain");
             assert_eq!(
@@ -713,7 +722,7 @@ mod tests {
         let mut a = HmcDevice::new(&paper, SchemeKind::Nopf).unwrap();
         a.submit(read(1, 0, 0));
         let mut out = Vec::new();
-        a.tick(1, &mut out);
+        a.tick(1, &mut out, &mut Profiler::off());
         let state = a.save_state();
         let mut small = SystemConfig::small();
         small.hmc.vaults = paper.hmc.vaults / 2;

@@ -1,7 +1,7 @@
 //! Per-run results and figure-level aggregation helpers.
 
 use camps_cpu::core_model::CoreStats;
-use camps_obs::StageBreakdown;
+use camps_obs::{ProfileSummary, StageBreakdown};
 use camps_prefetch::SchemeKind;
 use camps_stats::summary::geomean;
 use camps_stats::AmplificationReport;
@@ -43,6 +43,12 @@ pub struct RunResult {
     /// serialized before the adversarial workload layer existed).
     #[serde(default)]
     pub amplification: Option<AmplificationReport>,
+    /// Host-side self-profile: per-component wall-clock attribution and
+    /// wake/dispatch accounting. Present only when the run had profiling
+    /// enabled; host wall time, so *not* deterministic across runs —
+    /// clear it before byte-comparing results.
+    #[serde(default)]
+    pub profile: Option<ProfileSummary>,
 }
 
 impl RunResult {
@@ -227,6 +233,7 @@ mod tests {
             energy_nj: 0.0,
             stage_latency: None,
             amplification: None,
+            profile: None,
         }
     }
 

@@ -182,8 +182,54 @@ pub struct SweepPolicy {
     /// quarantine; timestamps in wall-clock microseconds since sweep
     /// start) are written here.
     pub trace_out: Option<PathBuf>,
+    /// When set, a heartbeat line (jobs done/total, retries so far,
+    /// quarantines so far, elapsed, crude ETA) is printed to stderr at
+    /// this interval while the sweep runs. `None` (the default) keeps
+    /// sweeps silent for scripting.
+    pub progress_every: Option<Duration>,
     /// Injected faults (tests, soak, CI fault drills).
     pub faults: SweepFaultPlan,
+}
+
+/// Live sweep counters shared between the rayon workers and the
+/// heartbeat reporter thread ([`SweepPolicy::progress_every`]).
+#[derive(Debug, Default)]
+struct SweepProgress {
+    done: std::sync::atomic::AtomicUsize,
+    retries: std::sync::atomic::AtomicU64,
+    quarantined: std::sync::atomic::AtomicUsize,
+}
+
+impl SweepProgress {
+    /// Records one finished job (journal skips count too — the user
+    /// wants distance-to-done, not distance-to-computed).
+    fn note_job(&self, retries: u32, quarantined: bool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.retries.fetch_add(u64::from(retries), Relaxed);
+        if quarantined {
+            self.quarantined.fetch_add(1, Relaxed);
+        }
+        self.done.fetch_add(1, Relaxed);
+    }
+
+    /// One stderr heartbeat line with a crude linear ETA.
+    fn report(&self, total: usize, started: Instant) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let done = self.done.load(Relaxed);
+        let retries = self.retries.load(Relaxed);
+        let quarantined = self.quarantined.load(Relaxed);
+        let elapsed = started.elapsed().as_secs_f64();
+        let eta = if done > 0 && done < total {
+            let per_job = elapsed / done as f64;
+            format!(", ETA ~{:.0}s", per_job * (total - done) as f64)
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "sweep: {done}/{total} jobs done, {retries} retries, \
+             {quarantined} quarantined, {elapsed:.0}s elapsed{eta}"
+        );
+    }
 }
 
 /// What ultimately happened to one job.
@@ -789,6 +835,26 @@ pub fn run_sweep(
     };
 
     let journal_append_errors = std::sync::atomic::AtomicUsize::new(0);
+
+    // Progress heartbeat (opt-in): rayon's `install` blocks this thread
+    // until the whole sweep drains, so the periodic reporter runs on a
+    // plain OS thread fed by atomic counters the workers bump. Stopping
+    // is a channel drop — `recv_timeout` doubles as the interval sleep,
+    // so shutdown never waits out a sleep.
+    let progress = std::sync::Arc::new(SweepProgress::default());
+    let total_jobs = jobs.len();
+    let heartbeat = policy.progress_every.map(|every| {
+        let counters = std::sync::Arc::clone(&progress);
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(every)
+            {
+                counters.report(total_jobs, sweep_started);
+            }
+        });
+        (handle, stop_tx)
+    });
+
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(policy.threads.unwrap_or(0))
         .build()
@@ -802,6 +868,7 @@ pub fn run_sweep(
             .map(|(index, mix, scheme)| {
                 let key = &keys[*index];
                 if let Some(prev) = done.get(key) {
+                    progress.note_job(0, false);
                     return (Ok((*prev).clone()), JobStats::default(), true, 0.0);
                 }
                 let job_started = Instant::now();
@@ -828,10 +895,16 @@ pub fn run_sweep(
                     format!("sweep_job_done:{}", key.label()),
                     micros_since(sweep_started),
                 );
+                progress.note_job(stats.attempts.saturating_sub(1), result.is_err());
                 (result, stats, false, job_started.elapsed().as_secs_f64())
             })
             .collect()
     });
+
+    if let Some((handle, stop_tx)) = heartbeat {
+        drop(stop_tx); // disconnects the channel; the reporter exits
+        handle.join().ok();
+    }
 
     // Assemble the run + report in job order.
     let mut results = Vec::with_capacity(job_outputs.len());

@@ -8,7 +8,9 @@ use camps_cache::hierarchy::{CacheHierarchy, HierarchyOutcome};
 use camps_cache::mshr::MshrFile;
 use camps_cpu::core_model::{Core, MemoryPort, PortResult};
 use camps_cpu::trace::TraceSource;
-use camps_obs::{MetricsSample, ObsConfig, ReqClass, TraceHandle, METRICS_SCHEMA_VERSION};
+use camps_obs::{
+    Comp, MetricsSample, ObsConfig, Profiler, ReqClass, TraceHandle, METRICS_SCHEMA_VERSION,
+};
 use camps_prefetch::SchemeKind;
 use camps_stats::{AuditLedger, Running};
 use camps_types::addr::PhysAddr;
@@ -17,7 +19,7 @@ use camps_types::config::{FaultPlan, SystemConfig};
 use camps_types::error::{IntegrityError, SimError, WatchdogReport};
 use camps_types::request::{AccessKind, CoreId, MemRequest, RequestId};
 use camps_types::snapshot::{decode, field, Snapshot};
-use camps_types::wake::{fold_wake, Wake};
+use camps_types::wake::{fold_wake, Wake, WakeSource};
 use serde::value::Value;
 use serde::{de, Serialize as _};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -206,11 +208,12 @@ impl MemorySubsystem {
     /// Advances the memory side one cycle; `(core, slot)` pairs whose
     /// loads completed this cycle are appended to `woken` (the caller
     /// owns the vector so the hot loop reuses one allocation).
-    pub fn tick(&mut self, now: Cycle, woken: &mut Vec<(CoreId, u64)>) {
+    pub fn tick(&mut self, now: Cycle, woken: &mut Vec<(CoreId, u64)>, prof: &mut Profiler) {
         debug_assert!(
             self.wb_scratch.is_empty(),
             "writeback scratch not drained between ticks"
         );
+        let t = prof.stamp();
         // Drain pending L3 writebacks into the cube pool as posted
         // writes (FIFO: a full owning cube blocks the queue head).
         while let Some(&wb) = self.writeback_q.front() {
@@ -232,11 +235,13 @@ impl MemorySubsystem {
             debug_assert!(accepted, "headroom was checked");
             self.writeback_q.pop_front();
         }
+        let _ = prof.lap(Comp::WbDrain, t);
 
         self.resp_scratch.clear();
         let mut responses = std::mem::take(&mut self.resp_scratch);
-        self.topo.tick(now, &mut responses);
+        self.topo.tick(now, &mut responses, prof);
 
+        prof.enter(Comp::CacheFill);
         for resp in &responses {
             if resp.push {
                 // Unsolicited LLC push (ablation): fill the shared cache,
@@ -298,6 +303,7 @@ impl MemorySubsystem {
                 }
             }
         }
+        prof.exit(Comp::CacheFill);
         self.resp_scratch = responses;
     }
 
@@ -434,13 +440,107 @@ impl Snapshot for MemorySubsystem {
     }
 }
 
+impl MemorySubsystem {
+    /// Demand-load L3 miss: merge into (or allocate) an MSHR and inject
+    /// the read into the cube pool.
+    fn load_miss(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        slot: u64,
+        addr: PhysAddr,
+        lookup_latency: u64,
+    ) -> PortResult {
+        let block = addr.0 & self.block_mask;
+        if self.mshrs.contains(addr) {
+            let token = Self::token(core, slot);
+            self.mshrs.allocate(addr, token);
+            let issued = self.first_attempt.remove(&(core.0, block)).unwrap_or(now);
+            self.issue_cycle.insert(token, issued);
+            return PortResult::Accepted;
+        }
+        if self.mshrs.is_full() || self.topo.headroom_for(addr) == 0 {
+            self.first_attempt.entry((core.0, block)).or_insert(now);
+            return PortResult::Rejected;
+        }
+        let token = Self::token(core, slot);
+        self.mshrs.allocate(addr, token);
+        let issued = self.first_attempt.remove(&(core.0, block)).unwrap_or(now);
+        self.issue_cycle.insert(token, issued);
+        let id = self.fresh_id();
+        // Inject = this cycle: the request joins the host queue
+        // now and can launch before `created_at` (which only
+        // rides along for reporting), so the stage edges must be
+        // real event times or the host-queue span goes negative.
+        self.obs
+            .issue(id.0, core.0, block, ReqClass::DemandRead, issued, now);
+        let accepted = self.submit_audited(
+            MemRequest {
+                id,
+                addr: addr.block_base(self.block_bytes),
+                kind: AccessKind::Read,
+                core,
+                created_at: now + lookup_latency,
+            },
+            now,
+        );
+        debug_assert!(accepted, "headroom was checked");
+        self.issue_core_prefetches(now, core, addr);
+        PortResult::Accepted
+    }
+
+    /// Store L3 miss (write-allocate): fetch the block, fill dirty.
+    fn store_miss(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        addr: PhysAddr,
+        lookup_latency: u64,
+    ) -> bool {
+        let block = addr.0 & self.block_mask;
+        if self.mshrs.contains(addr) {
+            self.mshrs.allocate(addr, STORE_WAITER);
+            self.issue_cycle.entry(STORE_WAITER).or_insert(now);
+            self.dirty_fills.insert(block);
+            return true;
+        }
+        if self.mshrs.is_full() || self.topo.headroom_for(addr) == 0 {
+            return false;
+        }
+        self.mshrs.allocate(addr, STORE_WAITER);
+        self.dirty_fills.insert(block);
+        let id = self.fresh_id();
+        self.obs
+            .issue(id.0, core.0, block, ReqClass::Store, now, now);
+        let accepted = self.submit_audited(
+            MemRequest {
+                id,
+                addr: PhysAddr(block),
+                kind: AccessKind::Read,
+                core,
+                created_at: now + lookup_latency,
+            },
+            now,
+        );
+        debug_assert!(accepted, "headroom was checked");
+        true
+    }
+}
+
 impl MemoryPort for MemorySubsystem {
-    fn load(&mut self, now: Cycle, core: CoreId, slot: u64, addr: PhysAddr) -> PortResult {
+    fn load(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        slot: u64,
+        addr: PhysAddr,
+        prof: &mut Profiler,
+    ) -> PortResult {
         self.wb_scratch.clear();
         let mut wbs = std::mem::take(&mut self.wb_scratch);
         let outcome = self
             .hierarchy
-            .access(usize::from(core.0), addr, false, &mut wbs);
+            .access(usize::from(core.0), addr, false, &mut wbs, prof);
         self.writeback_q.extend(wbs.drain(..));
         self.wb_scratch = wbs;
         match outcome {
@@ -449,85 +549,29 @@ impl MemoryPort for MemorySubsystem {
                 PortResult::Hit { latency }
             }
             HierarchyOutcome::Miss { lookup_latency } => {
-                let block = addr.0 & self.block_mask;
-                if self.mshrs.contains(addr) {
-                    let token = Self::token(core, slot);
-                    self.mshrs.allocate(addr, token);
-                    let issued = self.first_attempt.remove(&(core.0, block)).unwrap_or(now);
-                    self.issue_cycle.insert(token, issued);
-                    return PortResult::Accepted;
-                }
-                if self.mshrs.is_full() || self.topo.headroom_for(addr) == 0 {
-                    self.first_attempt.entry((core.0, block)).or_insert(now);
-                    return PortResult::Rejected;
-                }
-                let token = Self::token(core, slot);
-                self.mshrs.allocate(addr, token);
-                let issued = self.first_attempt.remove(&(core.0, block)).unwrap_or(now);
-                self.issue_cycle.insert(token, issued);
-                let id = self.fresh_id();
-                // Inject = this cycle: the request joins the host queue
-                // now and can launch before `created_at` (which only
-                // rides along for reporting), so the stage edges must be
-                // real event times or the host-queue span goes negative.
-                self.obs
-                    .issue(id.0, core.0, block, ReqClass::DemandRead, issued, now);
-                let accepted = self.submit_audited(
-                    MemRequest {
-                        id,
-                        addr: addr.block_base(self.block_bytes),
-                        kind: AccessKind::Read,
-                        core,
-                        created_at: now + lookup_latency,
-                    },
-                    now,
-                );
-                debug_assert!(accepted, "headroom was checked");
-                self.issue_core_prefetches(now, core, addr);
-                PortResult::Accepted
+                let t = prof.stamp();
+                let r = self.load_miss(now, core, slot, addr, lookup_latency);
+                let _ = prof.lap(Comp::Mshr, t);
+                r
             }
         }
     }
 
-    fn store(&mut self, now: Cycle, core: CoreId, addr: PhysAddr) -> bool {
+    fn store(&mut self, now: Cycle, core: CoreId, addr: PhysAddr, prof: &mut Profiler) -> bool {
         self.wb_scratch.clear();
         let mut wbs = std::mem::take(&mut self.wb_scratch);
         let outcome = self
             .hierarchy
-            .access(usize::from(core.0), addr, true, &mut wbs);
+            .access(usize::from(core.0), addr, true, &mut wbs, prof);
         self.writeback_q.extend(wbs.drain(..));
         self.wb_scratch = wbs;
         match outcome {
             HierarchyOutcome::Hit { .. } => true,
             HierarchyOutcome::Miss { lookup_latency } => {
-                // Write-allocate: fetch the block, fill dirty.
-                let block = addr.0 & self.block_mask;
-                if self.mshrs.contains(addr) {
-                    self.mshrs.allocate(addr, STORE_WAITER);
-                    self.issue_cycle.entry(STORE_WAITER).or_insert(now);
-                    self.dirty_fills.insert(block);
-                    return true;
-                }
-                if self.mshrs.is_full() || self.topo.headroom_for(addr) == 0 {
-                    return false;
-                }
-                self.mshrs.allocate(addr, STORE_WAITER);
-                self.dirty_fills.insert(block);
-                let id = self.fresh_id();
-                self.obs
-                    .issue(id.0, core.0, block, ReqClass::Store, now, now);
-                let accepted = self.submit_audited(
-                    MemRequest {
-                        id,
-                        addr: PhysAddr(block),
-                        kind: AccessKind::Read,
-                        core,
-                        created_at: now + lookup_latency,
-                    },
-                    now,
-                );
-                debug_assert!(accepted, "headroom was checked");
-                true
+                let t = prof.stamp();
+                let r = self.store_miss(now, core, addr, lookup_latency);
+                let _ = prof.lap(Comp::Mshr, t);
+                r
             }
         }
     }
@@ -644,6 +688,11 @@ pub struct System {
     scan_backoff: u64,
     /// Observability hooks; never serialized (see [`MemorySubsystem`]).
     obs: TraceHandle,
+    /// Host-side self-profiler. A sibling of `cores`/`mem` so the tick
+    /// loop can split-borrow it alongside both. Runtime-only: never
+    /// serialized, and [`Profiler::off`] unless enabled via
+    /// [`ObsConfig`], so profiled and unprofiled runs stay bit-identical.
+    prof: Profiler,
     /// Metrics sampling interval; `None` disables the sampler.
     metrics_every: Option<u64>,
     /// Absolute cycle of the next metrics sample.
@@ -692,6 +741,7 @@ impl System {
             woken_scratch: Vec::new(),
             scan_backoff: 0,
             obs: TraceHandle::disabled(),
+            prof: Profiler::off(),
             metrics_every: None,
             next_sample: 0,
             wake_ticks: 0,
@@ -727,6 +777,16 @@ impl System {
         if let Some(every) = self.metrics_every {
             self.next_sample = self.now + every;
         }
+        if obs_cfg.wants_profile() {
+            self.prof = Profiler::enabled();
+        }
+    }
+
+    /// The host-side self-profiler (disabled unless requested via
+    /// [`Self::enable_obs`]).
+    #[must_use]
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
     }
 
     /// The installed observability handle (disabled by default).
@@ -781,9 +841,14 @@ impl System {
                 if let Some((addr, kind)) = op.mem {
                     let h = self.mem.hierarchy_mut();
                     let mut wb = Vec::new();
-                    if let HierarchyOutcome::Miss { .. } =
-                        h.access(core_idx, addr, !kind.is_read(), &mut wb)
-                    {
+                    // Warmup is untimed; keep it out of the profile.
+                    if let HierarchyOutcome::Miss { .. } = h.access(
+                        core_idx,
+                        addr,
+                        !kind.is_read(),
+                        &mut wb,
+                        &mut Profiler::off(),
+                    ) {
                         h.fill(core_idx, addr, !kind.is_read(), &mut wb);
                     }
                 }
@@ -812,7 +877,16 @@ impl System {
         mix_id: &str,
     ) -> Result<RunResult, SimError> {
         let mut state = self.run_begin(instructions, max_cycles);
-        while self.run_step(&mut state)? {}
+        self.prof.enter(Comp::RunLoop);
+        let looped = loop {
+            match self.run_step(&mut state) {
+                Ok(true) => {}
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        self.prof.exit(Comp::RunLoop);
+        looped?;
         self.run_finish(&state, mix_id)
     }
 
@@ -843,35 +917,62 @@ impl System {
         }
         if self.engine == Engine::Event && self.scan_backoff > 0 {
             self.scan_backoff -= 1;
+            self.prof.note_jump(WakeSource::Backoff, 0);
         } else if self.engine == Engine::Event {
             // Jump to the cycle before the earliest pending event, charging
             // the skipped cycles to the cores' idle accounting in bulk. The
             // wake contract is conservative (never late), so the tick below
             // lands on — or before — the first cycle where anything can
             // happen, and the tick body is the same as the polling engine's.
+            //
+            // The dispatch accounting (which source won the fold, how many
+            // cycles the jump coalesced) only *observes* the computation —
+            // it must never change `wake` or `target`, or the engines'
+            // bit-identity contract breaks.
+            self.prof.enter(Comp::WakeScan);
             let next = self.now + 1;
             let mut wake: Option<Cycle> = None;
+            let mut source = WakeSource::Deadline;
             for core in &self.cores {
+                let before = wake;
                 fold_wake(&mut wake, self.now, core.next_event(self.now));
+                if wake != before {
+                    source = WakeSource::Core;
+                }
                 if wake == Some(next) {
                     break; // can't skip anything; don't scan the memory side
                 }
             }
             if wake != Some(next) {
+                let before = wake;
                 fold_wake(&mut wake, self.now, self.mem.next_event(self.now));
+                if wake != before {
+                    source = WakeSource::Memory;
+                }
             }
             if wake != Some(next) && self.cfg.integrity.watchdog_cycles > 0 {
                 // The watchdog must still fire at the exact polling cycle
                 // even when every component sleeps past it.
                 let fire = state.stalled_since + self.cfg.integrity.watchdog_cycles;
+                let before = wake;
                 fold_wake(&mut wake, self.now, Some(fire));
+                if wake != before {
+                    source = WakeSource::Watchdog;
+                }
             }
             if wake != Some(next) && self.metrics_every.is_some() {
                 // Samples must land on their exact cycle under both
                 // engines, so the sampler is a wake source of its own.
+                let before = wake;
                 fold_wake(&mut wake, self.now, Some(self.next_sample));
+                if wake != before {
+                    source = WakeSource::Sampler;
+                }
             }
             let target = wake.unwrap_or(state.deadline).min(state.deadline).max(next);
+            if wake.is_none_or(|w| w > state.deadline) {
+                source = WakeSource::Deadline;
+            }
             let skipped = target - self.now - 1;
             self.cycles_skipped += skipped;
             if skipped > 0 {
@@ -884,18 +985,44 @@ impl System {
                 // will usually stay dense for a while. Tick scan-free for a
                 // few cycles before probing again.
                 self.scan_backoff = 8;
+                self.prof.note_backoff_engaged();
             }
+            self.prof.note_jump(source, skipped);
+            self.prof.exit(Comp::WakeScan);
         }
+        let sig_before = if self.prof.is_enabled() {
+            Some(self.progress_signature())
+        } else {
+            None
+        };
+        self.prof.enter(Comp::RunStep);
+        let stepped = self.step_body(state);
+        self.prof.exit(Comp::RunStep);
+        if let Some(before) = sig_before {
+            self.prof.note_outcome(self.progress_signature() != before);
+        }
+        stepped
+    }
+
+    /// The per-cycle tick body shared verbatim by both engines; split
+    /// from [`Self::run_step`] so the profiler's `run_step` span closes
+    /// on every exit path (including typed errors).
+    fn step_body(&mut self, state: &mut RunState) -> Result<bool, SimError> {
         self.now += 1;
         self.wake_ticks += 1;
+        self.prof.enter(Comp::CoreRetire);
         for (i, core) in self.cores.iter_mut().enumerate() {
-            core.tick(self.now, &mut self.mem);
+            core.tick(self.now, &mut self.mem, &mut self.prof);
             if state.done_at[i].is_none() && core.stats().retired.get() >= state.instructions {
                 state.done_at[i] = Some(self.now - state.start);
             }
         }
+        self.prof.exit(Comp::CoreRetire);
         self.woken_scratch.clear();
-        self.mem.tick(self.now, &mut self.woken_scratch);
+        self.prof.enter(Comp::MemTick);
+        self.mem
+            .tick(self.now, &mut self.woken_scratch, &mut self.prof);
+        self.prof.exit(Comp::MemTick);
         for i in 0..self.woken_scratch.len() {
             let (core, slot) = self.woken_scratch[i];
             // MSHR waiter tokens come back from the memory side; a corrupt
@@ -913,7 +1040,9 @@ impl System {
         }
         if let Some(every) = self.metrics_every {
             if self.now >= self.next_sample {
+                self.prof.enter(Comp::Sampler);
                 self.record_metrics_sample();
+                self.prof.exit(Comp::Sampler);
                 self.next_sample = self.now + every;
             }
         }
@@ -986,6 +1115,7 @@ impl System {
             energy_nj: 0.0, // filled below (needs cfg)
             stage_latency: self.obs.breakdown(),
             amplification,
+            profile: self.prof.summary(),
         }
         .with_energy(&self.cfg))
     }
@@ -1006,6 +1136,8 @@ impl System {
         let mut row_conflicts = 0u64;
         let mut buffer_hits = 0u64;
         let mut prefetches = 0u64;
+        let mut pf_useful = 0u64;
+        let mut pf_unused_evictions = 0u64;
         let mut worst_row_window_acts = 0u64;
         let mut rowguard_mitigations = 0u64;
         for v in topo.all_cubes().iter().flat_map(|c| c.vaults()) {
@@ -1023,6 +1155,8 @@ impl System {
             row_conflicts += s.row_conflicts.get();
             buffer_hits += s.buffer_hits.get();
             prefetches += s.prefetches.get();
+            pf_useful += s.prefetches_referenced.get();
+            pf_unused_evictions += v.buffer_unused_evictions();
             // Worst-case exposure is a max across vaults, like the merge.
             worst_row_window_acts = worst_row_window_acts.max(s.worst_row_window_acts);
             rowguard_mitigations += s.mitigations.get();
@@ -1049,11 +1183,15 @@ impl System {
             row_conflicts,
             buffer_hits,
             prefetches,
+            pf_useful,
+            pf_unused_evictions,
             amat_mem_mean: self.mem.amat_mem.mean().unwrap_or(0.0),
             traced_reads,
             traced_cycles,
             wake_ticks: self.wake_ticks,
             cycles_skipped: self.cycles_skipped,
+            host_profile_ns: self.prof.host_ns(),
+            spurious_wakes: self.prof.spurious_total(),
             worst_row_window_acts,
             rowguard_mitigations,
             cubes: topo.cubes() as u64,
@@ -1375,7 +1513,7 @@ mod port_tests {
         // Prime the hierarchy.
         let mut wb = Vec::new();
         m.hierarchy_mut().fill(0, PhysAddr(0x100), false, &mut wb);
-        match m.load(5, CoreId(0), 1, PhysAddr(0x100)) {
+        match m.load(5, CoreId(0), 1, PhysAddr(0x100), &mut Profiler::off()) {
             PortResult::Hit { latency } => assert_eq!(latency, 2),
             other => panic!("expected L1 hit, got {other:?}"),
         }
@@ -1386,19 +1524,19 @@ mod port_tests {
     fn miss_is_accepted_and_completes_with_wakeup() {
         let mut m = subsystem();
         assert_eq!(
-            m.load(0, CoreId(1), 42, PhysAddr(0x2000)),
+            m.load(0, CoreId(1), 42, PhysAddr(0x2000), &mut Profiler::off()),
             PortResult::Accepted
         );
         let mut woken = Vec::new();
         let mut now = 0;
         while woken.is_empty() && now < 100_000 {
             now += 1;
-            m.tick(now, &mut woken);
+            m.tick(now, &mut woken, &mut Profiler::off());
         }
         assert_eq!(woken, vec![(CoreId(1), 42)]);
         // The fill landed: the same load now hits on-chip.
         assert!(matches!(
-            m.load(now, CoreId(1), 43, PhysAddr(0x2000)),
+            m.load(now, CoreId(1), 43, PhysAddr(0x2000), &mut Profiler::off()),
             PortResult::Hit { .. }
         ));
     }
@@ -1407,18 +1545,18 @@ mod port_tests {
     fn same_block_loads_merge_into_one_memory_read() {
         let mut m = subsystem();
         assert_eq!(
-            m.load(0, CoreId(0), 1, PhysAddr(0x3000)),
+            m.load(0, CoreId(0), 1, PhysAddr(0x3000), &mut Profiler::off()),
             PortResult::Accepted
         );
         assert_eq!(
-            m.load(0, CoreId(0), 2, PhysAddr(0x3008)),
+            m.load(0, CoreId(0), 2, PhysAddr(0x3008), &mut Profiler::off()),
             PortResult::Accepted
         );
         let mut woken = Vec::new();
         let mut now = 0;
         while woken.len() < 2 && now < 100_000 {
             now += 1;
-            m.tick(now, &mut woken);
+            m.tick(now, &mut woken, &mut Profiler::off());
         }
         assert_eq!(woken.len(), 2, "both waiters wake from one response");
         assert_eq!(m.mem_reads, 1, "MSHR merging must collapse the reads");
@@ -1429,18 +1567,21 @@ mod port_tests {
         let mut cfg = SystemConfig::small();
         cfg.l3.mshrs = 2;
         let mut m = MemorySubsystem::new(&cfg, SchemeKind::Nopf).unwrap();
-        assert_eq!(m.load(0, CoreId(0), 1, PhysAddr(0x0)), PortResult::Accepted);
         assert_eq!(
-            m.load(0, CoreId(0), 2, PhysAddr(0x1000)),
+            m.load(0, CoreId(0), 1, PhysAddr(0x0), &mut Profiler::off()),
             PortResult::Accepted
         );
         assert_eq!(
-            m.load(0, CoreId(0), 3, PhysAddr(0x2000)),
+            m.load(0, CoreId(0), 2, PhysAddr(0x1000), &mut Profiler::off()),
+            PortResult::Accepted
+        );
+        assert_eq!(
+            m.load(0, CoreId(0), 3, PhysAddr(0x2000), &mut Profiler::off()),
             PortResult::Rejected
         );
         // Merging still works while full.
         assert_eq!(
-            m.load(0, CoreId(0), 4, PhysAddr(0x1008)),
+            m.load(0, CoreId(0), 4, PhysAddr(0x1008), &mut Profiler::off()),
             PortResult::Accepted
         );
     }
@@ -1449,19 +1590,19 @@ mod port_tests {
     fn store_miss_write_allocates_and_dirties() {
         let mut m = subsystem();
         assert!(
-            m.store(0, CoreId(0), PhysAddr(0x4000)),
+            m.store(0, CoreId(0), PhysAddr(0x4000), &mut Profiler::off()),
             "posted store accepted"
         );
         let mut now = 0;
         let mut sink = Vec::new();
         while m.busy() && now < 200_000 {
             now += 1;
-            m.tick(now, &mut sink);
+            m.tick(now, &mut sink, &mut Profiler::off());
         }
         // The block was fetched (write-allocate read) and filled dirty:
         // a later load hits on-chip.
         assert!(matches!(
-            m.load(now, CoreId(0), 9, PhysAddr(0x4000)),
+            m.load(now, CoreId(0), 9, PhysAddr(0x4000), &mut Profiler::off()),
             PortResult::Hit { .. }
         ));
         assert_eq!(m.mem_reads, 1);
@@ -1473,29 +1614,35 @@ mod port_tests {
         cfg.l3.mshrs = 1;
         let mut m = MemorySubsystem::new(&cfg, SchemeKind::Nopf).unwrap();
         assert_eq!(
-            m.load(10, CoreId(0), 1, PhysAddr(0x0)),
+            m.load(10, CoreId(0), 1, PhysAddr(0x0), &mut Profiler::off()),
             PortResult::Accepted
         );
         // Second miss is rejected at cycle 10; retried successfully later.
         assert_eq!(
-            m.load(10, CoreId(0), 2, PhysAddr(0x1000)),
+            m.load(10, CoreId(0), 2, PhysAddr(0x1000), &mut Profiler::off()),
             PortResult::Rejected
         );
         let mut now = 10;
         let mut woken = Vec::new();
         while woken.is_empty() && now < 100_000 {
             now += 1;
-            m.tick(now, &mut woken);
+            m.tick(now, &mut woken, &mut Profiler::off());
         }
         let retry_at = now + 5;
         assert_eq!(
-            m.load(retry_at, CoreId(0), 2, PhysAddr(0x1000)),
+            m.load(
+                retry_at,
+                CoreId(0),
+                2,
+                PhysAddr(0x1000),
+                &mut Profiler::off()
+            ),
             PortResult::Accepted
         );
         woken.clear();
         while m.busy() {
             now += 1;
-            m.tick(now, &mut woken);
+            m.tick(now, &mut woken, &mut Profiler::off());
         }
         // The second load's recorded latency starts at the first attempt
         // (cycle 10), not the retry: its sample must exceed the retry gap.
@@ -1515,18 +1662,18 @@ mod core_prefetch_tests {
         cfg.core_prefetch.degree = 2;
         let mut m = MemorySubsystem::new(&cfg, SchemeKind::Nopf).unwrap();
         // One demand miss at block 0 → prefetches for blocks 1 and 2.
-        let _ = m.load(0, CoreId(0), 1, PhysAddr(0));
+        let _ = m.load(0, CoreId(0), 1, PhysAddr(0), &mut Profiler::off());
         assert_eq!(m.core_pf_issued, 2);
         let mut now = 0;
         let mut sink = Vec::new();
         while m.busy() && now < 200_000 {
             now += 1;
-            m.tick(now, &mut sink);
+            m.tick(now, &mut sink, &mut Profiler::off());
         }
         // The next block is now an on-chip (L3) hit without any demand
         // having touched it.
         assert!(matches!(
-            m.load(now, CoreId(0), 2, PhysAddr(64)),
+            m.load(now, CoreId(0), 2, PhysAddr(64), &mut Profiler::off()),
             camps_cpu::core_model::PortResult::Hit { .. }
         ));
     }
@@ -1535,7 +1682,7 @@ mod core_prefetch_tests {
     fn disabled_core_prefetcher_issues_nothing() {
         let cfg = SystemConfig::small();
         let mut m = MemorySubsystem::new(&cfg, SchemeKind::Nopf).unwrap();
-        let _ = m.load(0, CoreId(0), 1, PhysAddr(0));
+        let _ = m.load(0, CoreId(0), 1, PhysAddr(0), &mut Profiler::off());
         assert_eq!(m.core_pf_issued, 0);
     }
 
@@ -1549,8 +1696,8 @@ mod core_prefetch_tests {
         // Demand takes one MSHR; prefetches may take at most the rest and
         // must stop before exhausting them... they stop when full, so a
         // second demand can still merge or be cleanly rejected (not panic).
-        let _ = m.load(0, CoreId(0), 1, PhysAddr(0));
-        let r = m.load(0, CoreId(0), 2, PhysAddr(0x10000));
+        let _ = m.load(0, CoreId(0), 1, PhysAddr(0), &mut Profiler::off());
+        let r = m.load(0, CoreId(0), 2, PhysAddr(0x10000), &mut Profiler::off());
         assert!(matches!(
             r,
             camps_cpu::core_model::PortResult::Rejected

@@ -20,7 +20,7 @@
 use crate::hmc::HmcDevice;
 use camps_link::cube_link::CubeFabric;
 use camps_link::packet::Packet;
-use camps_obs::TraceHandle;
+use camps_obs::{Comp, Profiler, TraceHandle};
 use camps_prefetch::SchemeKind;
 use camps_types::addr::{CubeMap, PhysAddr};
 use camps_types::clock::Cycle;
@@ -185,11 +185,14 @@ impl Topology {
 
     /// Advances the pool one CPU cycle; responses delivered to the host
     /// at `now` are appended to `out` with their global addresses.
-    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>, prof: &mut Profiler) {
         if self.cubes.len() == 1 {
-            self.cubes[0].tick(now, out);
+            prof.enter(Comp::HmcTick);
+            self.cubes[0].tick(now, out, prof);
+            prof.exit(Comp::HmcTick);
             return;
         }
+        prof.enter(Comp::CubeFabric);
         // Fabric deliveries land in per-cube arrival queues...
         while self
             .hop_req
@@ -219,7 +222,9 @@ impl Topology {
         let mut responses = std::mem::take(&mut self.cube_out);
         for (idx, cube) in self.cubes.iter_mut().enumerate() {
             responses.clear();
-            cube.tick(now, &mut responses);
+            prof.enter(Comp::HmcTick);
+            cube.tick(now, &mut responses, prof);
+            prof.exit(Comp::HmcTick);
             for resp in responses.drain(..) {
                 // Back to the pool's address space, then over the fabric.
                 let mut global = resp;
@@ -249,6 +254,7 @@ impl Topology {
             };
             out.push(resp);
         }
+        prof.exit(Comp::CubeFabric);
     }
 
     /// True while any cube or fabric-transit work remains.
@@ -466,7 +472,7 @@ mod tests {
         let mut now = start;
         while out.len() < want && now < start + limit {
             now += 1;
-            t.tick(now, &mut out);
+            t.tick(now, &mut out, &mut Profiler::off());
         }
         (out, now)
     }
@@ -539,7 +545,7 @@ mod tests {
         let mut sink = Vec::new();
         while t.busy() && now < 800_000 {
             now += 1;
-            t.tick(now, &mut sink);
+            t.tick(now, &mut sink, &mut Profiler::off());
         }
         assert!(!t.busy(), "pool must drain");
         let stats = t.finalize(400_000);
@@ -557,7 +563,7 @@ mod tests {
         let mut now = 0;
         while now < 40 {
             now += 1;
-            a.tick(now, &mut out_a);
+            a.tick(now, &mut out_a, &mut Profiler::off());
         }
         assert!(a.busy(), "pool must still be mid-flight");
         let state = a.save_state();
@@ -567,8 +573,8 @@ mod tests {
         let mut out_b = Vec::new();
         while (a.busy() || b.busy()) && now < 500_000 {
             now += 1;
-            a.tick(now, &mut out_a);
-            b.tick(now, &mut out_b);
+            a.tick(now, &mut out_a, &mut Profiler::off());
+            b.tick(now, &mut out_b, &mut Profiler::off());
         }
         assert_eq!(&out_a[pending..], &out_b[..]);
         assert_eq!(
@@ -583,12 +589,12 @@ mod tests {
         let mut t = Topology::new(&paper, SchemeKind::Nopf).unwrap();
         t.submit(read(1, 0, 0), 0);
         let mut sink = Vec::new();
-        t.tick(1, &mut sink);
+        t.tick(1, &mut sink, &mut Profiler::off());
         let via_topology = t.save_state();
         // The same traffic through a bare device must serialize equal.
         let mut d = HmcDevice::new(&paper, SchemeKind::Nopf).unwrap();
         d.submit(read(1, 0, 0));
-        d.tick(1, &mut sink);
+        d.tick(1, &mut sink, &mut Profiler::off());
         assert_eq!(via_topology, d.save_state());
         // And a legacy (bare-device) snapshot restores into a 1-cube pool.
         let mut back = Topology::new(&paper, SchemeKind::Nopf).unwrap();

@@ -1,6 +1,7 @@
 //! The ROB-limited core model.
 
 use crate::trace::{TraceOp, TraceSource};
+use camps_obs::Profiler;
 use camps_stats::Counter;
 use camps_types::addr::PhysAddr;
 use camps_types::clock::Cycle;
@@ -28,12 +29,23 @@ pub enum PortResult {
 }
 
 /// The core's window into the memory system.
+///
+/// Each call receives the host self-profiler so the port implementation
+/// can attribute its cache-lookup and MSHR time (a no-op when profiling
+/// is off or compiled out).
 pub trait MemoryPort {
     /// Attempts a load for `(core, slot)`.
-    fn load(&mut self, now: Cycle, core: CoreId, slot: u64, addr: PhysAddr) -> PortResult;
+    fn load(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        slot: u64,
+        addr: PhysAddr,
+        prof: &mut Profiler,
+    ) -> PortResult;
 
     /// Attempts a posted store; `true` if accepted.
-    fn store(&mut self, now: Cycle, core: CoreId, addr: PhysAddr) -> bool;
+    fn store(&mut self, now: Cycle, core: CoreId, addr: PhysAddr, prof: &mut Profiler) -> bool;
 }
 
 /// Reorder-buffer entry states.
@@ -224,21 +236,21 @@ impl Core {
     }
 
     /// Advances the core by one cycle against `port`.
-    pub fn tick(&mut self, now: Cycle, port: &mut impl MemoryPort) {
+    pub fn tick(&mut self, now: Cycle, port: &mut impl MemoryPort, prof: &mut Profiler) {
         self.stats.cycles.inc();
-        self.drain_store_buffer(now, port);
-        self.retry_stalled(now, port);
+        self.drain_store_buffer(now, port, prof);
+        self.retry_stalled(now, port, prof);
         self.retire(now);
-        self.issue(now, port);
+        self.issue(now, port, prof);
     }
 
     /// Oldest-first: try to un-stall entries that were rejected earlier.
-    fn retry_stalled(&mut self, now: Cycle, port: &mut impl MemoryPort) {
+    fn retry_stalled(&mut self, now: Cycle, port: &mut impl MemoryPort, prof: &mut Profiler) {
         for i in 0..self.rob.len() {
             let entry = self.rob[i];
             match entry {
                 RobEntry::StalledLoad(addr) => {
-                    match port.load(now, self.id, self.next_slot, addr) {
+                    match port.load(now, self.id, self.next_slot, addr, prof) {
                         PortResult::Hit { latency } => {
                             self.rob[i] = RobEntry::HitLoad(now + latency);
                             self.stalled_entries -= 1;
@@ -270,9 +282,9 @@ impl Core {
         }
     }
 
-    fn drain_store_buffer(&mut self, now: Cycle, port: &mut impl MemoryPort) {
+    fn drain_store_buffer(&mut self, now: Cycle, port: &mut impl MemoryPort, prof: &mut Profiler) {
         if let Some(&addr) = self.store_buffer.front() {
-            if port.store(now, self.id, addr) {
+            if port.store(now, self.id, addr, prof) {
                 self.store_buffer.pop_front();
                 self.stats.stores.inc();
             }
@@ -316,7 +328,7 @@ impl Core {
         }
     }
 
-    fn issue(&mut self, now: Cycle, port: &mut impl MemoryPort) {
+    fn issue(&mut self, now: Cycle, port: &mut impl MemoryPort, prof: &mut Profiler) {
         for _ in 0..self.issue_w {
             if self.rob.len() == self.rob_cap {
                 return;
@@ -339,7 +351,7 @@ impl Core {
                 continue;
             };
             match kind {
-                AccessKind::Read => match port.load(now, self.id, self.next_slot, addr) {
+                AccessKind::Read => match port.load(now, self.id, self.next_slot, addr, prof) {
                     PortResult::Hit { latency } => {
                         self.rob.push_back(RobEntry::HitLoad(now + latency));
                         self.stats.loads.inc();
@@ -459,13 +471,26 @@ mod tests {
     }
 
     impl MemoryPort for FlatMemory {
-        fn load(&mut self, _now: Cycle, _core: CoreId, _slot: u64, _addr: PhysAddr) -> PortResult {
+        fn load(
+            &mut self,
+            _now: Cycle,
+            _core: CoreId,
+            _slot: u64,
+            _addr: PhysAddr,
+            _prof: &mut Profiler,
+        ) -> PortResult {
             self.loads += 1;
             PortResult::Hit {
                 latency: self.latency,
             }
         }
-        fn store(&mut self, _now: Cycle, _core: CoreId, _addr: PhysAddr) -> bool {
+        fn store(
+            &mut self,
+            _now: Cycle,
+            _core: CoreId,
+            _addr: PhysAddr,
+            _prof: &mut Profiler,
+        ) -> bool {
             self.stores += 1;
             true
         }
@@ -480,14 +505,27 @@ mod tests {
     }
 
     impl MemoryPort for PendingMemory {
-        fn load(&mut self, now: Cycle, _core: CoreId, slot: u64, _addr: PhysAddr) -> PortResult {
+        fn load(
+            &mut self,
+            now: Cycle,
+            _core: CoreId,
+            slot: u64,
+            _addr: PhysAddr,
+            _prof: &mut Profiler,
+        ) -> PortResult {
             if self.reject {
                 return PortResult::Rejected;
             }
             self.accepted.push((slot, now));
             PortResult::Accepted
         }
-        fn store(&mut self, _now: Cycle, _core: CoreId, _addr: PhysAddr) -> bool {
+        fn store(
+            &mut self,
+            _now: Cycle,
+            _core: CoreId,
+            _addr: PhysAddr,
+            _prof: &mut Profiler,
+        ) -> bool {
             !self.reject
         }
     }
@@ -498,7 +536,7 @@ mod tests {
 
     fn run(core: &mut Core, port: &mut impl MemoryPort, cycles: u64) {
         for now in 1..=cycles {
-            core.tick(now, port);
+            core.tick(now, port, &mut Profiler::off());
         }
     }
 
@@ -632,8 +670,8 @@ mod tests {
             stores: 0,
         };
         for now in 138..=400 {
-            a.tick(now, &mut mem_a);
-            b.tick(now, &mut mem_b);
+            a.tick(now, &mut mem_a, &mut Profiler::off());
+            b.tick(now, &mut mem_b, &mut Profiler::off());
         }
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.rob_occupancy(), b.rob_occupancy());

@@ -250,6 +250,21 @@ impl Bank {
         self.open_row.is_none() && now >= self.busy_until
     }
 
+    /// While the controller drains toward an all-bank refresh, the
+    /// earliest cycle this bank could move closer to
+    /// [`Bank::can_refresh`]: the precharge opportunity while a row is
+    /// still latched, or the end of array/TSV occupancy once idle. A
+    /// conservative lower bound, like every wake edge — the precharge
+    /// may additionally wait on the scheduler, never on time alone.
+    #[must_use]
+    pub fn refresh_drain_edge(&self) -> Cycle {
+        if self.open_row.is_some() {
+            self.precharge_ready_at()
+        } else {
+            self.busy_until
+        }
+    }
+
     /// Applies an all-bank refresh starting at `now`: the bank is
     /// unavailable for activation until `now + tRFC`.
     ///
@@ -416,6 +431,17 @@ mod tests {
         b.activate(0, 1, &tm);
         b.precharge(tm.t_ras, &tm);
         assert_eq!(b.open_cycles(), tm.t_ras);
+    }
+
+    #[test]
+    fn refresh_drain_edge_tracks_state() {
+        let tm = t();
+        let mut b = Bank::new();
+        assert_eq!(b.refresh_drain_edge(), b.busy_until());
+        b.activate(0, 1, &tm);
+        assert_eq!(b.refresh_drain_edge(), b.precharge_ready_at());
+        b.precharge(tm.t_ras, &tm);
+        assert_eq!(b.refresh_drain_edge(), b.busy_until());
     }
 
     #[test]

@@ -80,6 +80,30 @@ impl Packet {
             flits: link.flits_for(kind.payload_bytes(block_bytes)),
         }
     }
+
+    /// Wire FLITs of the host → cube packet a request of `kind` would
+    /// frame — without building the packet. Wake scans ask this per
+    /// queued request every fold; answering from the access kind alone
+    /// keeps the host-profiler's `wake_scan` bin honest.
+    #[must_use]
+    pub fn request_flits(kind: AccessKind, link: &LinkConfig, block_bytes: u32) -> u32 {
+        let kind = match kind {
+            AccessKind::Read => PacketKind::ReadReq,
+            AccessKind::Write => PacketKind::WriteReq,
+        };
+        link.flits_for(kind.payload_bytes(block_bytes))
+    }
+
+    /// Wire FLITs of the cube → host response for an access of `kind`,
+    /// without building the packet.
+    #[must_use]
+    pub fn response_flits(kind: AccessKind, link: &LinkConfig, block_bytes: u32) -> u32 {
+        let kind = match kind {
+            AccessKind::Read => PacketKind::ReadResp,
+            AccessKind::Write => PacketKind::WriteResp,
+        };
+        link.flits_for(kind.payload_bytes(block_bytes))
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +153,21 @@ mod tests {
         let p = Packet::response(req(AccessKind::Write), &c.link, 64);
         assert_eq!(p.kind, PacketKind::WriteResp);
         assert_eq!(p.flits, 1);
+    }
+
+    #[test]
+    fn flit_helpers_match_framed_packets() {
+        let c = SystemConfig::paper_default();
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            assert_eq!(
+                Packet::request_flits(kind, &c.link, 64),
+                Packet::request(req(kind), &c.link, 64).flits
+            );
+            assert_eq!(
+                Packet::response_flits(kind, &c.link, 64),
+                Packet::response(req(kind), &c.link, 64).flits
+            );
+        }
     }
 
     #[test]

@@ -348,6 +348,16 @@ impl ObsCore {
             "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
              \"args\":{\"name\":\"camps-sim\"}}",
         );
+        // Ring accounting rides along as metadata so a viewer (or a
+        // script) can tell a complete trace from a truncated one.
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":1,\"name\":\"trace_ring\",\
+             \"args\":{{\"records\":{},\"dropped\":{},\"capacity\":{}}}}}",
+            self.ring.len(),
+            self.dropped,
+            self.capacity
+        );
         for rec in &self.ring {
             match rec {
                 TraceRecord::Span {
@@ -579,6 +589,10 @@ mod tests {
         assert_eq!(report.records, 8);
         // 10 reads × 6 spans = 60 records offered, 8 retained.
         assert_eq!(report.dropped, 52);
+        // The exported JSON must carry the same accounting as metadata.
+        let text = core.render_trace_json();
+        assert!(text.contains("\"name\":\"trace_ring\""));
+        assert!(text.contains("\"records\":8,\"dropped\":52,\"capacity\":8"));
     }
 
     #[test]

@@ -39,10 +39,12 @@ mod breakdown;
 #[cfg(feature = "enabled")]
 mod core;
 mod metrics;
+mod profiler;
 mod stage;
 
 pub use breakdown::{StageBreakdown, StageLatency};
 pub use metrics::{MetricsFormat, MetricsSample, METRICS_SCHEMA_VERSION};
+pub use profiler::{Comp, ProfileNode, ProfileSummary, Profiler, WakeSourceStat};
 pub use stage::{Point, ReqClass, Stage, STAGE_COUNT};
 
 use camps_types::clock::Cycle;
@@ -72,13 +74,28 @@ pub struct ObsConfig {
     /// Write the sampled series here after the run (`.csv` extension
     /// selects CSV, anything else JSONL).
     pub metrics_out: Option<PathBuf>,
+    /// Enable the host-side self-profiler ([`Profiler`]); the summary
+    /// rides in `RunResult.profile`.
+    pub profile: bool,
+    /// Write the self-profile as collapsed folded-stack text here
+    /// after the run (implies `profile`).
+    pub profile_out: Option<PathBuf>,
 }
 
 impl ObsConfig {
     /// True when any output or sampling was requested.
     #[must_use]
     pub fn wants_any(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_every.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some()
+            || self.metrics_every.is_some()
+            || self.metrics_out.is_some()
+            || self.wants_profile()
+    }
+
+    /// True when the self-profiler should be enabled.
+    #[must_use]
+    pub fn wants_profile(&self) -> bool {
+        self.profile || self.profile_out.is_some()
     }
 }
 
@@ -279,6 +296,16 @@ impl TraceHandle {
             .with(|c| (c.render_trace_json(), c.export_report()))
             .ok_or_else(unsupported)?;
         std::fs::write(path, text)?;
+        if report.dropped > 0 {
+            // The written file carries the same counts in its
+            // `trace_ring` metadata record; warn here so a truncated
+            // trace is never mistaken for the whole run.
+            eprintln!(
+                "camps-obs: trace ring overflowed: {} record(s) dropped, {} kept \
+                 (raise ObsConfig::trace_capacity or narrow --trace-filter)",
+                report.dropped, report.records
+            );
+        }
         Ok(report)
     }
 

@@ -72,6 +72,14 @@ pub struct MetricsSample {
     pub buffer_hits: u64,
     /// Whole rows prefetched.
     pub prefetches: u64,
+    /// Prefetched rows referenced by at least one demand read before
+    /// leaving the buffer (accuracy numerator; `pf_useful / prefetches`).
+    #[serde(default)]
+    pub pf_useful: u64,
+    /// Prefetched rows evicted, invalidated, or drained without ever
+    /// serving a demand read (wasted-fetch counter).
+    #[serde(default)]
+    pub pf_unused_evictions: u64,
     /// Mean demand-read memory latency so far (`amat_mem` accumulator).
     pub amat_mem_mean: f64,
     /// Demand reads with a complete traced lifecycle.
@@ -83,6 +91,14 @@ pub struct MetricsSample {
     pub wake_ticks: u64,
     /// Cycles the event engine skipped without ticking.
     pub cycles_skipped: u64,
+    /// Host wall-clock nanoseconds the self-profiler has attributed so
+    /// far (0 when profiling is off — a *host* clock, not sim time).
+    #[serde(default)]
+    pub host_profile_ns: u64,
+    /// Event-engine wakes whose tick made no forward progress so far
+    /// (0 when profiling is off or under the polling engine).
+    #[serde(default)]
+    pub spurious_wakes: u64,
     /// Worst per-row activation count inside any refresh window so far
     /// (max across vaults — the RowHammer exposure gauge).
     #[serde(default)]
@@ -111,8 +127,9 @@ pub struct MetricsSample {
 pub(crate) const CSV_HEADER: &str = "schema,cycle,retired,responses,mem_reads,buffer_served,\
 host_queue,mshr_in_flight,writeback_queue,vault_read_queue,vault_write_queue,buffer_rows,\
 buffer_capacity,rut_entries,ct_entries,row_hits,row_misses,row_conflicts,buffer_hits,\
-prefetches,amat_mem_mean,traced_reads,traced_cycles,wake_ticks,cycles_skipped,\
-worst_row_window_acts,rowguard_mitigations,cubes,cube_link_inflight,cube_host_queue";
+prefetches,pf_useful,pf_unused_evictions,amat_mem_mean,traced_reads,traced_cycles,wake_ticks,\
+cycles_skipped,host_profile_ns,spurious_wakes,worst_row_window_acts,rowguard_mitigations,cubes,\
+cube_link_inflight,cube_host_queue";
 
 impl MetricsSample {
     /// One CSV row, field order matching [`CSV_HEADER`].
@@ -126,8 +143,8 @@ impl MetricsSample {
             .collect::<Vec<_>>()
             .join(";");
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},{},{},\
-             {},{},{cube_host_queue}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{},\
+             {},{},{},{},{},{},{cube_host_queue}",
             self.schema,
             self.cycle,
             self.retired,
@@ -148,11 +165,15 @@ impl MetricsSample {
             self.row_conflicts,
             self.buffer_hits,
             self.prefetches,
+            self.pf_useful,
+            self.pf_unused_evictions,
             self.amat_mem_mean,
             self.traced_reads,
             self.traced_cycles,
             self.wake_ticks,
             self.cycles_skipped,
+            self.host_profile_ns,
+            self.spurious_wakes,
             self.worst_row_window_acts,
             self.rowguard_mitigations,
             self.cubes,

@@ -62,6 +62,12 @@ pub struct PrefetchBuffer {
     insertions: u64,
     hits: u64,
     lookups: u64,
+    /// Rows that left the buffer (eviction, invalidation, or drain)
+    /// without a single demand reference — wasted fetches, the
+    /// complement of the Figure 7 accuracy numerator. `default` so
+    /// checkpoints written before the counter existed still restore.
+    #[serde(default)]
+    unused_evictions: u64,
 }
 
 impl PrefetchBuffer {
@@ -85,6 +91,7 @@ impl PrefetchBuffer {
             insertions: 0,
             hits: 0,
             lookups: 0,
+            unused_evictions: 0,
         }
     }
 
@@ -232,6 +239,13 @@ impl PrefetchBuffer {
         (self.insertions, self.hits, self.lookups)
     }
 
+    /// Rows that left the buffer without ever being demand-referenced
+    /// (prefetch-accuracy complement for the metrics time-series).
+    #[must_use]
+    pub fn unused_evictions(&self) -> u64 {
+        self.unused_evictions
+    }
+
     /// Moves entry `idx` to MRU.
     fn touch(&mut self, idx: usize) {
         let rank = self.lru_order.iter().position(|&i| i == idx);
@@ -266,6 +280,9 @@ impl PrefetchBuffer {
 
     fn remove_index(&mut self, idx: usize) -> Evicted {
         let e = self.entries.swap_remove(idx);
+        if !e.referenced {
+            self.unused_evictions += 1;
+        }
         let moved = self.entries.len(); // old index of the swapped-in entry
         self.lru_order.retain(|&i| i != idx);
         for slot in &mut self.lru_order {
@@ -383,6 +400,23 @@ mod tests {
         b.access(key(0, 1), 2, 0, true);
         let ev = b.insert(key(0, 2), 1).unwrap();
         assert!(ev.dirty);
+    }
+
+    #[test]
+    fn unused_evictions_count_unreferenced_departures() {
+        let mut b = buf(1, ReplacementKind::Lru);
+        b.insert(key(0, 1), 0);
+        // Never referenced → the eviction is a wasted fetch.
+        b.insert(key(0, 2), 1);
+        assert_eq!(b.unused_evictions(), 1);
+        // Referenced rows leave without charge, even via drain.
+        b.access(key(0, 2), 0, 2, false);
+        b.drain();
+        assert_eq!(b.unused_evictions(), 1);
+        // Invalidating an untouched row counts too.
+        b.insert(key(0, 3), 3);
+        b.invalidate(key(0, 3));
+        assert_eq!(b.unused_evictions(), 2);
     }
 
     #[test]

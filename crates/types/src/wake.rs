@@ -27,6 +27,58 @@ pub trait Wake {
     fn next_event(&self, now: Cycle) -> Option<Cycle>;
 }
 
+/// Who won a wake fold: the component whose `next_event` answer (or
+/// engine-internal deadline) set the cycle the event engine jumped to.
+/// Used by the self-profiler's dispatch accounting — *which* source
+/// wakes us, how often those wakes are spurious — and deliberately
+/// decoupled from the fold itself so accounting can never perturb the
+/// engine's bit-identical wake computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeSource {
+    /// A core's front-end or pending memory slot.
+    Core,
+    /// The memory subsystem (host queue, links, vaults, refresh).
+    Memory,
+    /// The stall watchdog's trip deadline.
+    Watchdog,
+    /// The periodic metrics sampler.
+    Sampler,
+    /// No component reported a wake; the engine fell back to the run
+    /// deadline (end of the measured window).
+    Deadline,
+    /// A scan-backoff tick: the engine skipped the wake fold entirely
+    /// and ticked densely after a tick-dense stretch.
+    Backoff,
+}
+
+impl WakeSource {
+    /// Number of variants (sizing accounting arrays).
+    pub const COUNT: usize = 6;
+
+    /// Every variant, in `as usize` order.
+    pub const ALL: [WakeSource; WakeSource::COUNT] = [
+        WakeSource::Core,
+        WakeSource::Memory,
+        WakeSource::Watchdog,
+        WakeSource::Sampler,
+        WakeSource::Deadline,
+        WakeSource::Backoff,
+    ];
+
+    /// Stable snake_case label for exports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            WakeSource::Core => "core",
+            WakeSource::Memory => "memory",
+            WakeSource::Watchdog => "watchdog",
+            WakeSource::Sampler => "sampler",
+            WakeSource::Deadline => "deadline",
+            WakeSource::Backoff => "backoff",
+        }
+    }
+}
+
 /// Folds a wake candidate into an accumulator, keeping the earliest.
 ///
 /// Candidates at or before `now` are clamped to `now + 1`: the component is

@@ -6,7 +6,7 @@ use camps_dram::bank::{AccessCategory, Bank};
 use camps_dram::rowguard::RowGuard;
 use camps_dram::timing::TimingCpu;
 use camps_dram::window::ActWindow;
-use camps_obs::{Point, TraceHandle};
+use camps_obs::{Comp, Point, Profiler, TraceHandle};
 use camps_prefetch::buffer::PrefetchBuffer;
 use camps_prefetch::scheme::{PfAction, PrefetchScheme, SchemeKind};
 use camps_types::addr::{DecodedAddr, RowKey};
@@ -212,6 +212,13 @@ impl VaultController {
         self.scheme.table_occupancy()
     }
 
+    /// Prefetched rows that left the buffer without ever serving a
+    /// demand read (coverage-loss counter for the metrics sampler).
+    #[must_use]
+    pub fn buffer_unused_evictions(&self) -> u64 {
+        self.buffer.unused_evictions()
+    }
+
     /// Statistics so far (energy's buffer-access count is synced in
     /// [`VaultController::finalize`]).
     #[must_use]
@@ -305,19 +312,31 @@ impl VaultController {
     }
 
     /// Advances the vault by one CPU cycle, appending any responses that
-    /// complete at `now` to `out`.
-    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+    /// complete at `now` to `out`. `prof` attributes each phase's host
+    /// time (fence-post laps: one clock read per boundary, none at all
+    /// when profiling is off).
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<MemResponse>, prof: &mut Profiler) {
+        let t = prof.stamp();
         self.advance_refresh(now);
+        let t = prof.lap(Comp::RefreshScan, t);
         self.complete_fetches(now);
         self.serve_buffer_resident(now);
+        let t = prof.lap(Comp::BufferServe, t);
         self.sweep_precharges(now);
+        let _ = prof.lap(Comp::BankModel, t);
         // Demand commands issue before prefetch transfers claim banks: a
         // row fetch is background work and must not delay the triggering
-        // request.
-        self.schedule_command(now);
+        // request. A scoped span (not a lap): scheme-training laps nest
+        // inside the scheduler.
+        prof.enter(Comp::IssueScan);
+        self.schedule_command(now, prof);
+        let t = prof.exit(Comp::IssueScan);
         self.start_fetches(now);
+        let t = prof.lap(Comp::PfFetch, t);
         self.advance_writeback(now);
+        let t = prof.lap(Comp::WbEngine, t);
         self.pop_responses(now, out);
+        let _ = prof.lap(Comp::RespPop, t);
     }
 
     /// Ends the run: drains the prefetch buffer so resident-but-referenced
@@ -621,7 +640,7 @@ impl VaultController {
     }
 
     /// Issues at most one DRAM command (RD/WR, ACT, or PRE) per cycle.
-    fn schedule_command(&mut self, now: Cycle) {
+    fn schedule_command(&mut self, now: Cycle, prof: &mut Profiler) {
         // Write-drain hysteresis.
         if !self.draining && self.write_q.len() >= self.drain_high {
             self.draining = true;
@@ -631,10 +650,10 @@ impl VaultController {
         }
         let use_writes = self.draining || (self.read_q.is_empty() && !self.write_q.is_empty());
 
-        if self.try_issue_column(now, use_writes) {
+        if self.try_issue_column(now, use_writes, prof) {
             return;
         }
-        if self.try_issue_activate(now, use_writes) {
+        if self.try_issue_activate(now, use_writes, prof) {
             return;
         }
         let _ = self.try_issue_precharge(now, use_writes);
@@ -654,7 +673,7 @@ impl VaultController {
         }
     }
 
-    fn try_issue_column(&mut self, now: Cycle, use_writes: bool) -> bool {
+    fn try_issue_column(&mut self, now: Cycle, use_writes: bool, prof: &mut Profiler) -> bool {
         if now < self.bus_free {
             return false; // TSV data bus occupied
         }
@@ -688,7 +707,10 @@ impl VaultController {
             // This request's activation already informed the scheme.
             PfAction::None
         } else {
-            self.scheme.on_row_hit(key, same_row)
+            let pt = prof.stamp();
+            let action = self.scheme.on_row_hit(key, same_row);
+            let _ = prof.lap(Comp::PfTrain, pt);
+            action
         };
 
         match q.req.kind {
@@ -728,7 +750,7 @@ impl VaultController {
         true
     }
 
-    fn try_issue_activate(&mut self, now: Cycle, use_writes: bool) -> bool {
+    fn try_issue_activate(&mut self, now: Cycle, use_writes: bool, prof: &mut Profiler) -> bool {
         if self.refresh_pending || !self.window.can_activate(now) {
             return false;
         }
@@ -771,7 +793,9 @@ impl VaultController {
             key.row,
             Some(i).filter(|_| !use_writes),
         );
+        let pt = prof.stamp();
         let action = self.scheme.on_row_activated(key, conflict, queued);
+        let _ = prof.lap(Comp::PfTrain, pt);
         self.apply_action(action, now);
         true
     }
@@ -977,13 +1001,12 @@ impl Wake for VaultController {
         if self.timing.t_refi > 0 {
             if self.refresh_pending {
                 for (idx, b) in self.banks.iter().enumerate() {
-                    if b.open_row().is_some() {
-                        if !self.fetch_pending_on(idx) {
-                            up(b.precharge_ready_at());
-                        }
-                    } else {
-                        up(b.busy_until());
+                    // A fetch in flight owns the open row; its own
+                    // edges below wake us, not the drain.
+                    if b.open_row().is_some() && self.fetch_pending_on(idx) {
+                        continue;
                     }
+                    up(b.refresh_drain_edge());
                 }
             } else {
                 up(self.next_refresh);
@@ -1227,7 +1250,7 @@ mod tests {
         let mut now = start;
         while out.len() < n && now < start + limit {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         (out, now)
     }
@@ -1312,7 +1335,7 @@ mod tests {
         let mut t = now;
         while t < 2 * v.timing.t_refi {
             t += 1;
-            v.tick(t, &mut out);
+            v.tick(t, &mut out, &mut Profiler::off());
         }
         assert!(v.stats().refreshes.get() >= 1);
         assert_eq!(tracked(&v), 0);
@@ -1391,7 +1414,7 @@ mod tests {
         let mut now = end;
         for _ in 0..2_000 {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert_eq!(v.stats().prefetches.get(), 1);
         // A new request to any column of row 5 must now hit the buffer.
@@ -1415,7 +1438,7 @@ mod tests {
             assert!(v.try_enqueue(r, d, now));
             for _ in 0..3_000 {
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
         }
         assert_eq!(
@@ -1438,7 +1461,7 @@ mod tests {
             assert!(v.try_enqueue(r, d, now));
             for _ in 0..1_000 {
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
         }
         assert_eq!(v.stats().prefetches.get(), 1);
@@ -1463,7 +1486,7 @@ mod tests {
             assert!(v.try_enqueue(r, d, now));
             for _ in 0..3_000 {
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
         }
         assert_eq!(out.len(), 5);
@@ -1486,7 +1509,7 @@ mod tests {
             v.try_enqueue(r, d, now);
             for _ in 0..500 {
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
         }
         assert_eq!(v.stats().prefetches.get(), 0);
@@ -1507,7 +1530,7 @@ mod tests {
         let mut now = end;
         while v.busy() && now < end + 20_000 {
             now += 1;
-            v.tick(now, &mut out2);
+            v.tick(now, &mut out2, &mut Profiler::off());
         }
         assert!(!v.busy());
         assert_eq!(v.stats().energy.write_bursts, 1);
@@ -1579,7 +1602,7 @@ mod tests {
         let mut now = end;
         for _ in 0..1_000 {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         // A second access to the same row is a miss, not a hit.
         let (r2, d2) = req_at(&c, 2, 0, 5, 1, AccessKind::Read, now);
@@ -1611,7 +1634,7 @@ mod tests {
         v.try_enqueue(r, d, 0);
         let mut out = Vec::new();
         for now in 1..3_000 {
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert_eq!(v.stats().prefetches.get(), 1);
         // The fetched row was never demand-referenced from the buffer
@@ -1644,12 +1667,12 @@ mod tests {
                     accepted += 1;
                 }
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
             let deadline = now + 2_000_000;
             while v.busy() && now < deadline {
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
             proptest::prop_assert_eq!(out.len() as u64, accepted,
                 "accepted reads must all complete");
@@ -1676,7 +1699,7 @@ mod tests {
                 a.try_enqueue(r, d, now);
                 for _ in 0..40 {
                     now += 1;
-                    a.tick(now, &mut out_a);
+                    a.tick(now, &mut out_a, &mut Profiler::off());
                 }
             }
             let state = a.save_state();
@@ -1686,8 +1709,8 @@ mod tests {
             let deadline = now + 200_000;
             while (a.busy() || b.busy()) && now < deadline {
                 now += 1;
-                a.tick(now, &mut out_a);
-                b.tick(now, &mut out_b);
+                a.tick(now, &mut out_a, &mut Profiler::off());
+                b.tick(now, &mut out_b, &mut Profiler::off());
             }
             // Responses emitted after the snapshot point must match exactly.
             let pending = out_a.len() - out_b.len();
@@ -1765,7 +1788,7 @@ mod tests {
         let mut out = Vec::new();
         for _ in 0..5_000 {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert!(v.stats().prefetches.get() >= 1);
     }
@@ -1779,7 +1802,7 @@ mod tests {
         assert!(v.try_enqueue(r, d, 0));
         let mut out = Vec::new();
         for now in 1..3_000 {
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         let pushes: Vec<_> = out.iter().filter(|r| r.push).collect();
         assert_eq!(
@@ -1805,7 +1828,7 @@ mod tests {
         // Run three refresh intervals with no traffic: the vault must
         // refresh on schedule.
         for now in 1..=(3 * t.t_refi + t.t_rfc) {
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert!(
             v.stats().refreshes.get() >= 2,
@@ -1830,7 +1853,7 @@ mod tests {
         // closed, and the refresh eventually happens.
         for _ in 0..(t.t_refi / 2) {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert_eq!(out.len(), 1);
         assert!(v.stats().refreshes.get() >= 1);
@@ -1849,7 +1872,7 @@ mod tests {
         let mut v = VaultController::new(0, &c, SchemeKind::Nopf).unwrap();
         let mut out = Vec::new();
         for now in 1..100_000 {
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert_eq!(v.stats().refreshes.get(), 0);
     }
@@ -1865,7 +1888,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..3_000 {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert_eq!(v.stats().prefetches.get(), 1);
         // Write to the buffered row: absorbed, marks it dirty.
@@ -1886,13 +1909,13 @@ mod tests {
             assert!(v.try_enqueue(r, d, now));
             for _ in 0..3_000 {
                 now += 1;
-                v.tick(now, &mut out);
+                v.tick(now, &mut out, &mut Profiler::off());
             }
         }
         // The dirty row was evicted and written back to its bank.
         while v.busy() && now < 1_000_000 {
             now += 1;
-            v.tick(now, &mut out);
+            v.tick(now, &mut out, &mut Profiler::off());
         }
         assert_eq!(v.stats().writebacks.get(), 1);
         assert_eq!(v.stats().energy.row_writebacks, 1);

@@ -269,6 +269,7 @@ mod tests {
     use crate::generator::SpecTrace;
     use camps_cache::hierarchy::{CacheHierarchy, HierarchyOutcome};
     use camps_cpu::trace::TraceSource;
+    use camps_obs::Profiler;
     use camps_types::config::SystemConfig;
 
     #[test]
@@ -367,7 +368,7 @@ mod tests {
                 instrs += op.instructions();
                 if let Some((addr, kind)) = op.mem {
                     if let HierarchyOutcome::Miss { .. } =
-                        h.access(0, addr, !kind.is_read(), &mut wb)
+                        h.access(0, addr, !kind.is_read(), &mut wb, &mut Profiler::off())
                     {
                         h.fill(0, addr, !kind.is_read(), &mut wb);
                     }
@@ -379,7 +380,7 @@ mod tests {
                 instrs += op.instructions();
                 if let Some((addr, kind)) = op.mem {
                     if let HierarchyOutcome::Miss { .. } =
-                        h.access(0, addr, !kind.is_read(), &mut wb)
+                        h.access(0, addr, !kind.is_read(), &mut wb, &mut Profiler::off())
                     {
                         misses += 1;
                         h.fill(0, addr, !kind.is_read(), &mut wb);

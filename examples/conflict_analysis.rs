@@ -9,6 +9,7 @@
 //! cargo run --release --example conflict_analysis
 //! ```
 
+use camps_sim::camps_obs::Profiler;
 use camps_sim::camps_prefetch::SchemeKind;
 use camps_sim::camps_types::addr::DecodedAddr;
 use camps_sim::camps_types::config::SystemConfig;
@@ -45,12 +46,12 @@ fn one_read(
     let mut out = Vec::new();
     while out.is_empty() {
         *now += 1;
-        v.tick(*now, &mut out);
+        v.tick(*now, &mut out, &mut Profiler::off());
     }
     // Let background work (row fetch + precharge) settle.
     for _ in 0..2_000 {
         *now += 1;
-        v.tick(*now, &mut out);
+        v.tick(*now, &mut out, &mut Profiler::off());
     }
     use camps_sim::camps_types::request::ServiceSource as S;
     match out[0].source {

@@ -30,6 +30,7 @@ pub use camps_cache;
 pub use camps_cpu;
 pub use camps_dram;
 pub use camps_link;
+pub use camps_obs;
 pub use camps_prefetch;
 pub use camps_stats;
 pub use camps_types;

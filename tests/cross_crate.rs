@@ -4,6 +4,7 @@
 use camps_sim::camps::hmc::HmcDevice;
 use camps_sim::camps::system::System;
 use camps_sim::camps_cpu::trace::{TraceOp, TraceSource, VecTrace};
+use camps_sim::camps_obs::Profiler;
 use camps_sim::camps_prefetch::SchemeKind;
 use camps_sim::camps_types::addr::{MappingScheme, PhysAddr};
 use camps_sim::camps_types::config::{PagePolicy, SchedulerKind, SystemConfig};
@@ -107,7 +108,7 @@ fn hmc_device_standalone_agrees_with_decode() {
     let mut now = 0;
     while out.is_empty() && now < 100_000 {
         now += 1;
-        hmc.tick(now, &mut out);
+        hmc.tick(now, &mut out, &mut Profiler::off());
     }
     assert_eq!(out[0].id, RequestId(9));
     assert_eq!(out[0].core, CoreId(3));

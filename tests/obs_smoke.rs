@@ -6,7 +6,7 @@
 //! and on a merge-free read workload the per-stage latency breakdown
 //! must reconcile with the run's `amat_mem` within 1%.
 
-use camps::experiment::{run_mix_observed, run_mix_recoverable_observed};
+use camps::experiment::{run_mix_observed, run_mix_recoverable_observed, run_mix_with_engine};
 use camps::recovery::RecoveryPolicy;
 use camps::system::Engine;
 use camps_cpu::trace::{TraceOp, TraceSource, VecTrace};
@@ -230,4 +230,130 @@ fn stage_breakdown_reconciles_with_amat_on_merge_free_reads() {
         breakdown.mean_total,
         result.amat_mem
     );
+}
+
+/// The self-profiler must observe without perturbing: a profiled run's
+/// `RunResult` — minus the host-side blocks only an observed run can
+/// carry — is byte-identical to the plain run's. When the hooks are
+/// compiled in, the span tree must telescope (exclusive nanoseconds sum
+/// exactly to the measured root wall time), the expected component
+/// paths must appear, the event engine must report per-wake-source
+/// dispatch accounting, and `--profile-out` must yield parseable
+/// folded-stack lines. When built `--no-default-features` every hook is
+/// a stub and the same run yields no profile at all — the identity
+/// check holds in both modes.
+#[test]
+fn profiler_attributes_wall_time_without_perturbing_the_run() {
+    let cfg = SystemConfig::paper_default();
+    let mix = Mix::by_id("HM1").expect("known mix");
+    let plain = run_mix_with_engine(&cfg, mix, SchemeKind::Camps, &tiny(), 21, Engine::Event)
+        .expect("plain run");
+    assert!(
+        plain.profile.is_none(),
+        "profile must be absent unless requested"
+    );
+
+    let folded_path = tmp("hm1.folded.txt");
+    let obs_cfg = ObsConfig {
+        profile: true,
+        profile_out: Some(folded_path.clone()),
+        ..ObsConfig::default()
+    };
+    let mut profiled = run_mix_observed(
+        &cfg,
+        mix,
+        SchemeKind::Camps,
+        &tiny(),
+        21,
+        Engine::Event,
+        &obs_cfg,
+    )
+    .expect("profiled run");
+
+    // Strip the host-timing payloads (wall-clock, so nondeterministic
+    // by design) and demand bit-identity on everything simulated.
+    let summary = profiled.profile.take();
+    profiled.stage_latency = None;
+    assert_eq!(
+        serde_json::to_string(&plain).expect("plain serializes"),
+        serde_json::to_string(&profiled).expect("profiled serializes"),
+        "profiling perturbed the simulation"
+    );
+
+    let folded = std::fs::read_to_string(&folded_path).expect("profile-out file exists");
+    std::fs::remove_file(&folded_path).ok();
+
+    if !camps_obs::TraceHandle::compiled() {
+        // Stub build: hooks are no-ops, the file is written but empty.
+        assert!(summary.is_none(), "stub build must not produce a profile");
+        return;
+    }
+
+    let summary = summary.expect("profiled run carries a summary");
+    assert!(summary.total_ns > 0, "no wall time measured");
+    assert_eq!(
+        summary.attributed_ns(),
+        summary.total_ns,
+        "span tree must telescope: every nanosecond under run_loop \
+         lands in exactly one node"
+    );
+    let paths: BTreeSet<&str> = summary.nodes.iter().map(|n| n.path.as_str()).collect();
+    for path in [
+        "run_loop",
+        "run_loop;wake_scan",
+        "run_loop;run_step;core_retire;cache_lookup",
+        "run_loop;run_step;mem_tick;hmc_tick;vault_tick;issue_scan",
+        "run_loop;run_step;mem_tick;cache_fill",
+    ] {
+        assert!(
+            paths.contains(path),
+            "missing span path {path} in {paths:?}"
+        );
+    }
+
+    // Dispatch accounting: the event engine attributes every jump to a
+    // wake source, and outcomes never outnumber the wakes they judge.
+    assert!(
+        !summary.wake_sources.is_empty(),
+        "event engine must report wake sources"
+    );
+    let total_wakes: u64 = summary.wake_sources.iter().map(|w| w.wakes).sum();
+    assert!(total_wakes > 0, "no wakes recorded");
+    for w in &summary.wake_sources {
+        assert!(
+            w.productive + w.spurious <= w.wakes,
+            "{}: outcomes ({} + {}) exceed wakes ({})",
+            w.source,
+            w.productive,
+            w.spurious,
+            w.wakes
+        );
+    }
+
+    // The folded export is real flamegraph input: `path ns` per line,
+    // every stack rooted at run_loop.
+    assert!(!folded.is_empty(), "folded export is empty");
+    for line in folded.lines() {
+        let (path, ns) = line.rsplit_once(' ').expect("line is `path ns`");
+        assert!(path.starts_with("run_loop"), "stack not rooted: {line}");
+        ns.parse::<u64>().expect("trailing field is nanoseconds");
+    }
+}
+
+/// A disabled profiler is inert regardless of build mode: no clock
+/// reads observable through `stamp`, no summary, no accumulated time.
+/// This is the contract that keeps the polling hot loop free and
+/// `RunResult` stable when `--profile` is not passed.
+#[test]
+fn disabled_profiler_is_inert() {
+    let prof = camps_obs::Profiler::off();
+    assert!(!prof.is_enabled());
+    assert_eq!(
+        prof.stamp(),
+        0,
+        "a disabled profiler must not read the clock"
+    );
+    assert_eq!(prof.host_ns(), 0);
+    assert_eq!(prof.spurious_total(), 0);
+    assert!(prof.summary().is_none());
 }
